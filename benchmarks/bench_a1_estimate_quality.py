@@ -1,0 +1,9 @@
+"""Benchmark: regenerate A1 — Wall-time estimate noise vs SJF/backfill quality (ablation).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_a1_estimate_quality(experiment_runner):
+    result = experiment_runner("A1")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate A2 — Elastic (Pollux-style) resizing vs rigid backfill (ablation).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_a2_elasticity(experiment_runner):
+    result = experiment_runner("A2")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate A3 — Preemption checkpoint cost vs free-tier usefulness (ablation).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_a3_checkpoint_cost(experiment_runner):
+    result = experiment_runner("A3")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate A4 — Dataset staging vs node-local cache capacity (ablation).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_a4_storage_cache(experiment_runner):
+    result = experiment_runner("A4")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate A5 — learned runtime predictions vs estimates (ablation).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_a5_predictions(experiment_runner):
+    result = experiment_runner("A5")
+    assert result.rows or result.series

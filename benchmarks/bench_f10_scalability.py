@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F10 — Simulator wall-clock scalability vs cluster size (Figure 10).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f10_scalability(experiment_runner):
+    result = experiment_runner("F10")
+    assert result.rows or result.series

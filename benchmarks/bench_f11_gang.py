@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F11 — Gang time-slicing vs interactive wait (Figure 11).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f11_gang(experiment_runner):
+    result = experiment_runner("F11")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F1 — Diurnal submission pattern, weekday vs weekend (Figure 1).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f1_arrivals(experiment_runner):
+    result = experiment_runner("F1")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F2 — GPU-demand mix: job share vs GPU-hour share (Figure 2).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f2_gpu_demand(experiment_runner):
+    result = experiment_runner("F2")
+    assert result.rows or result.series

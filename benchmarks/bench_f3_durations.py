@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F3 — Duration CDFs per GPU-demand class (Figure 3).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f3_durations(experiment_runner):
+    result = experiment_runner("F3")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F4 — Utilization and queue depth over a two-week replay (Figure 4).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f4_utilization(experiment_runner):
+    result = experiment_runner("F4")
+    assert result.rows or result.series

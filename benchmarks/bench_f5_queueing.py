@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F5 — Queueing-delay CDF per scheduling policy (Figure 5).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f5_queueing(experiment_runner):
+    result = experiment_runner("F5")
+    assert result.rows or result.series

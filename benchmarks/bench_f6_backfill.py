@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F6 — Backfill ablation: none vs conservative vs EASY (Figure 6).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f6_backfill(experiment_runner):
+    result = experiment_runner("F6")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F7 — Two-tier quota: wait and preemptions per tier (Figure 7).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f7_quota_tiers(experiment_runner):
+    result = experiment_runner("F7")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F8 — Placement ablation incl. HiveD buddy cells (Figure 8).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f8_placement(experiment_runner):
+    result = experiment_runner("F8")
+    assert result.rows or result.series

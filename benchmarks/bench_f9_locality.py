@@ -1,0 +1,9 @@
+"""Benchmark: regenerate F9 — Locality vs training throughput per comm substrate (Figure 9).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_f9_locality(experiment_runner):
+    result = experiment_runner("F9")
+    assert result.rows or result.series

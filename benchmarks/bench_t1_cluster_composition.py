@@ -1,0 +1,9 @@
+"""Benchmark: regenerate T1 — Cluster composition: node groups, GPU types, fabric (Table 1).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_t1_cluster_composition(experiment_runner):
+    result = experiment_runner("T1")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate T2 — Scheduler comparison: JCT/wait/utilization/makespan (Table 2).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_t2_sched_comparison(experiment_runner):
+    result = experiment_runner("T2")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate T3 — Failure taxonomy under node-fault injection (Table 3).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_t3_failures(experiment_runner):
+    result = experiment_runner("T3")
+    assert result.rows or result.series

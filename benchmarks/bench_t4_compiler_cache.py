@@ -1,0 +1,9 @@
+"""Benchmark: regenerate T4 — Compiler-layer delta-upload savings (Table 4).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_t4_compiler_cache(experiment_runner):
+    result = experiment_runner("T4")
+    assert result.rows or result.series

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate T5 — Cross-lab fairness and quota adherence (Table 5).
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_t5_fairness(experiment_runner):
+    result = experiment_runner("T5")
+    assert result.rows or result.series

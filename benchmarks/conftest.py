@@ -1,0 +1,55 @@
+"""Shared harness for the per-table/figure benchmarks.
+
+Each benchmark regenerates one experiment from the study via the registry,
+times it with pytest-benchmark (single round — these are simulations, not
+microbenchmarks), prints the rendered table/series, and writes the output
+under ``benchmarks/out/`` so the artifacts survive the run.
+
+Scale/seed can be overridden from the command line::
+
+    pytest benchmarks/ --benchmark-only --repro-scale 1.0 --repro-seed 7
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="0.35",
+        help="experiment scale factor (1.0 = paper scale)",
+    )
+    parser.addoption(
+        "--repro-seed", action="store", default="0", help="experiment seed"
+    )
+
+
+@pytest.fixture
+def experiment_runner(request, benchmark, capsys):
+    """Returns run(experiment_id): benchmark it, print + persist the result."""
+    scale = float(request.config.getoption("--repro-scale"))
+    seed = int(request.config.getoption("--repro-seed"))
+
+    def run(experiment_id: str):
+        spec = EXPERIMENTS[experiment_id]
+        result = benchmark.pedantic(
+            lambda: spec.run(seed=seed, scale=scale), rounds=1, iterations=1
+        )
+        rendered = result.render()
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{experiment_id}.txt").write_text(rendered)
+        result.export_csv(OUT_DIR / f"{experiment_id}.csv")
+        with capsys.disabled():
+            print(f"\n{rendered}")
+        return result
+
+    return run

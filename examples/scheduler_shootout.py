@@ -1,0 +1,73 @@
+"""Scheduler shootout: replay one saturated week under every policy.
+
+Demonstrates the policy zoo on an identical, load-calibrated workload —
+the programmatic version of the paper's scheduler-comparison table (T2) —
+including the cluster's own tiered-quota policy with per-lab quotas.
+
+Run:  python examples/scheduler_shootout.py [--days 3] [--load 1.0]
+"""
+
+import argparse
+
+from repro import QuotaConfig, TieredQuotaScheduler, build_tacc_cluster, make_scheduler, simulate
+from repro.execlayer import ExecutionModel
+from repro.experiments import fresh_trace_copy
+from repro.ops import render_table, sparkline, wait_cdf
+from repro.sim import SimConfig
+from repro.workload import TraceSynthesizer, assign_models, tacc_campus, with_load
+
+POLICIES = ("fifo", "fifo-greedy", "sjf", "fair-share", "drf",
+            "backfill-conservative", "backfill-easy", "tiresias")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--days", type=float, default=3.0)
+    parser.add_argument("--load", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = with_load(tacc_campus(days=args.days), 176, args.load, seed=args.seed)
+    base_trace = TraceSynthesizer(config, seed=args.seed).generate()
+    assign_models(base_trace, seed=args.seed)
+    print(f"workload: {len(base_trace)} jobs over {args.days:g} days "
+          f"at offered load {args.load:g}\n")
+
+    rows = []
+    for name in POLICIES:
+        scheduler = make_scheduler(name)
+        rows.append(run_one(name, scheduler, base_trace))
+
+    # The cluster's own policy needs the lab census for quotas.
+    quota = QuotaConfig.equal_shares(base_trace.labs(), 176, fraction=0.6)
+    rows.append(run_one("tiered-quota", TieredQuotaScheduler(quota), base_trace))
+
+    rows.sort(key=lambda row: row["avg_jct_h"])
+    print(render_table(rows, title="One week, nine schedulers (sorted by mean JCT)"))
+
+
+def run_one(name, scheduler, base_trace):
+    trace = fresh_trace_copy(base_trace)
+    assign_models(trace, seed=0)
+    result = simulate(
+        build_tacc_cluster(),
+        scheduler,
+        trace,
+        exec_model=ExecutionModel(),
+        config=SimConfig(sample_interval_s=0.0),
+    )
+    metrics = result.metrics
+    cdf = wait_cdf(result.jobs)
+    return {
+        "scheduler": name,
+        "avg_jct_h": metrics.jct_mean_s / 3600.0,
+        "avg_wait_h": metrics.wait_mean_s / 3600.0,
+        "p99_wait_h": metrics.wait_percentiles["p99"] / 3600.0,
+        "util": metrics.avg_utilization,
+        "preempt": metrics.preemptions,
+        "wait_cdf": sparkline([p for _v, p in cdf.points(24)]),
+    }
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro: a trace-driven reproduction of a shared campus ML cluster (TACC).
+
+The package implements the full stack of the ASPLOS'25 operational study
+*Design and Operation of Shared Machine Learning Clusters on Campus*:
+
+* :mod:`repro.cluster` — heterogeneous GPU nodes, racks, leaf-spine fabric;
+* :mod:`repro.workload` — job model, traces, calibrated synthesis;
+* :mod:`repro.sim` — deterministic discrete-event simulation;
+* :mod:`repro.sched` — FIFO/SJF/fair-share/DRF/backfill/gang/Tiresias and
+  the cluster's tiered-quota policy, plus placement strategies up to
+  HiveD-style buddy cells;
+* :mod:`repro.schema` / :mod:`repro.compiler` / :mod:`repro.execlayer` —
+  the 4-layer workflow abstraction (task schema -> compiled instruction ->
+  scheduled -> executed);
+* :mod:`repro.tcloud` — the user-side client/CLI and simulated frontend;
+* :mod:`repro.ops` — operational analytics and report rendering;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import build_tacc_cluster, make_scheduler, simulate, synthesize
+
+    trace = synthesize("tacc-campus", days=3, seed=0)
+    result = simulate(build_tacc_cluster(), make_scheduler("backfill-easy"), trace)
+    print(result.summary())
+"""
+
+from .cluster import Cluster, build_tacc_cluster, uniform_cluster
+from .errors import ReproError
+from .experiments import EXPERIMENTS, run_experiment
+from .sched import QuotaConfig, TieredQuotaScheduler, make_placement, make_scheduler
+from .sim import ClusterSimulator, SimConfig, simulate
+from .tcloud import TcloudClient
+from .workload import Trace, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXPERIMENTS",
+    "Cluster",
+    "ClusterSimulator",
+    "QuotaConfig",
+    "ReproError",
+    "SimConfig",
+    "TcloudClient",
+    "TieredQuotaScheduler",
+    "Trace",
+    "__version__",
+    "build_tacc_cluster",
+    "make_placement",
+    "make_scheduler",
+    "run_experiment",
+    "simulate",
+    "synthesize",
+    "uniform_cluster",
+]

@@ -1,0 +1,41 @@
+"""Cluster substrate: heterogeneous GPU nodes, racks, fabric, partitions."""
+
+from .cluster import (
+    Cluster,
+    ClusterSpec,
+    JobAllocation,
+    NodeGroup,
+    Placement,
+    build_cluster,
+    build_tacc_cluster,
+    tacc_cluster_spec,
+    uniform_cluster,
+)
+from .gpu import GPU_CATALOG, GPUSpec, get_gpu_spec, register_gpu_spec
+from .node import Node, NodeAllocation, NodeSpec
+from .partition import PartitionSpec, PartitionTable
+from .topology import FabricSpec, Locality, Topology
+
+__all__ = [
+    "GPU_CATALOG",
+    "Cluster",
+    "ClusterSpec",
+    "FabricSpec",
+    "GPUSpec",
+    "JobAllocation",
+    "Locality",
+    "Node",
+    "NodeAllocation",
+    "NodeGroup",
+    "NodeSpec",
+    "PartitionSpec",
+    "PartitionTable",
+    "Placement",
+    "Topology",
+    "build_cluster",
+    "build_tacc_cluster",
+    "get_gpu_spec",
+    "register_gpu_spec",
+    "tacc_cluster_spec",
+    "uniform_cluster",
+]

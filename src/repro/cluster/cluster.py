@@ -1,0 +1,396 @@
+"""Cluster state: nodes + topology + partitions, with allocation bookkeeping.
+
+The :class:`Cluster` is the single source of truth for who holds what.  The
+scheduler proposes placements (``{node_id: gpu_count}``); the cluster turns
+them into per-node allocations atomically — a multi-node placement either
+fully commits or leaves no trace.  :func:`build_cluster` constructs a cluster
+from a declarative :class:`ClusterSpec`, and :func:`build_tacc_cluster`
+reproduces the campus cluster composition reported in experiment T1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import AllocationError, ConfigError, UnknownJobError, UnknownNodeError
+from ..ids import JobId, NodeId, RackId
+from .node import Node, NodeAllocation, NodeSpec
+from .partition import PartitionSpec, PartitionTable
+from .topology import FabricSpec, Topology
+
+Placement = Mapping[NodeId, int]
+"""A scheduler's placement decision: GPUs taken from each node."""
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """A homogeneous batch of nodes in a cluster spec.
+
+    Attributes:
+        count: Number of identical nodes.
+        spec: Hardware of each node.
+        nodes_per_rack: Rack granularity; racks are filled in order.
+        name_prefix: Prefix for generated node ids (defaults to GPU type).
+    """
+
+    count: int
+    spec: NodeSpec
+    nodes_per_rack: int = 8
+    name_prefix: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigError("NodeGroup.count must be positive")
+        if self.nodes_per_rack <= 0:
+            raise ConfigError("NodeGroup.nodes_per_rack must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of a whole cluster."""
+
+    groups: tuple[NodeGroup, ...]
+    fabric: FabricSpec = FabricSpec()
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigError("cluster spec has no node groups")
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(g.count * g.spec.num_gpus for g in self.groups)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(g.count for g in self.groups)
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """Everything one job holds across the cluster."""
+
+    job_id: JobId
+    node_allocations: tuple[NodeAllocation, ...]
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(a.num_gpus for a in self.node_allocations)
+
+    @property
+    def node_ids(self) -> tuple[NodeId, ...]:
+        return tuple(a.node_id for a in self.node_allocations)
+
+    @property
+    def placement(self) -> dict[NodeId, int]:
+        return {a.node_id: a.num_gpus for a in self.node_allocations}
+
+
+@dataclass
+class Cluster:
+    """Live cluster state.
+
+    Use :func:`build_cluster` rather than constructing directly; it wires
+    nodes, racks, topology and partitions consistently.
+    """
+
+    name: str
+    nodes: dict[NodeId, Node]
+    topology: Topology
+    partitions: PartitionTable = field(default_factory=PartitionTable)
+    _job_allocations: dict[JobId, JobAllocation] = field(default_factory=dict)
+
+    # -- capacity queries ------------------------------------------------------
+
+    @property
+    def node_ids(self) -> tuple[NodeId, ...]:
+        return tuple(self.nodes)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(n.spec.num_gpus for n in self.nodes.values())
+
+    @property
+    def healthy_gpus(self) -> int:
+        return sum(n.spec.num_gpus for n in self.nodes.values() if n.healthy)
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(n.free_gpus for n in self.nodes.values() if n.healthy)
+
+    @property
+    def used_gpus(self) -> int:
+        return sum(n.used_gpus for n in self.nodes.values())
+
+    @property
+    def running_jobs(self) -> tuple[JobId, ...]:
+        return tuple(self._job_allocations)
+
+    def node(self, node_id: NodeId) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node {node_id}") from None
+
+    def gpu_type_of(self, node_id: NodeId) -> str:
+        return self.node(node_id).spec.gpu_type
+
+    def nodes_of_type(self, gpu_type: str) -> tuple[Node, ...]:
+        return tuple(n for n in self.nodes.values() if n.spec.gpu_type == gpu_type)
+
+    def gpu_census(self) -> dict[str, int]:
+        """Total GPUs by type — the T1 composition table."""
+        census: dict[str, int] = {}
+        for node in self.nodes.values():
+            census[node.spec.gpu_type] = census.get(node.spec.gpu_type, 0) + node.spec.num_gpus
+        return census
+
+    def free_gpus_by_node(self, gpu_type: str | None = None) -> dict[NodeId, int]:
+        """Free GPU count for each healthy node, optionally filtered by type."""
+        return {
+            node_id: node.free_gpus
+            for node_id, node in self.nodes.items()
+            if node.healthy and (gpu_type is None or node.spec.gpu_type == gpu_type)
+        }
+
+    def holds_job(self, job_id: JobId) -> bool:
+        return job_id in self._job_allocations
+
+    def allocation_of(self, job_id: JobId) -> JobAllocation:
+        try:
+            return self._job_allocations[job_id]
+        except KeyError:
+            raise UnknownJobError(f"job {job_id} holds no allocation") from None
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate(
+        self,
+        job_id: JobId,
+        placement: Placement,
+        cpus_per_gpu: int = 0,
+        memory_gb_per_gpu: float = 0.0,
+    ) -> JobAllocation:
+        """Atomically commit a placement for *job_id*.
+
+        On any per-node failure the already-committed nodes are rolled back,
+        so a raised :class:`AllocationError` leaves the cluster unchanged.
+        """
+        if job_id in self._job_allocations:
+            raise AllocationError(f"job {job_id} already holds an allocation")
+        if not placement:
+            raise AllocationError(f"empty placement for job {job_id}")
+        if any(count <= 0 for count in placement.values()):
+            raise AllocationError(
+                f"placement for {job_id} contains non-positive GPU counts: {dict(placement)}"
+            )
+        committed: list[NodeAllocation] = []
+        try:
+            # Sort for deterministic commit order (and deterministic errors).
+            for node_id in sorted(placement):
+                count = placement[node_id]
+                node = self.node(node_id)
+                committed.append(
+                    node.allocate(
+                        job_id,
+                        gpus=count,
+                        cpus=cpus_per_gpu * count,
+                        memory_gb=memory_gb_per_gpu * count,
+                    )
+                )
+        except Exception:
+            for done in committed:
+                self.nodes[done.node_id].free(job_id)
+            raise
+        allocation = JobAllocation(job_id, tuple(committed))
+        self._job_allocations[job_id] = allocation
+        return allocation
+
+    def free(self, job_id: JobId) -> JobAllocation:
+        """Release everything *job_id* holds; returns the released record."""
+        allocation = self.allocation_of(job_id)
+        for node_allocation in allocation.node_allocations:
+            self.nodes[node_allocation.node_id].free(job_id)
+        del self._job_allocations[job_id]
+        return allocation
+
+    def fail_node(self, node_id: NodeId) -> tuple[JobId, ...]:
+        """Mark a node failed; return ids of jobs that were running on it.
+
+        The returned jobs still hold cluster-wide allocations — the caller
+        decides whether to kill or requeue them (and must then :meth:`free`).
+        """
+        return self.node(node_id).fail()
+
+    def repair_node(self, node_id: NodeId) -> None:
+        self.node(node_id).repair()
+
+    def jobs_on_node(self, node_id: NodeId) -> tuple[JobId, ...]:
+        return self.node(node_id).jobs
+
+    # -- feasibility ----------------------------------------------------------------
+
+    def fits_anywhere(
+        self,
+        num_gpus: int,
+        gpus_per_node: int | None = None,
+        gpu_type: str | None = None,
+        cpus_per_gpu: int = 0,
+        memory_gb_per_gpu: float = 0.0,
+    ) -> bool:
+        """True when an idle-enough set of nodes could host the request now.
+
+        Uses the same gang-chunk semantics as the placement policies: the
+        request splits into equal per-node chunks (``gpus_per_node`` each,
+        or one chunk of ``num_gpus``), and every chunk needs a distinct
+        node that fits it whole.  This is a capacity check, not a placement
+        decision — placement policies may still decline (e.g. buddy-cell
+        alignment).
+        """
+        chunk = min(num_gpus, gpus_per_node or num_gpus)
+        chunks_needed = max(1, -(-num_gpus // chunk))
+        hosts = 0
+        for node in self.nodes.values():
+            if gpu_type is not None and node.spec.gpu_type != gpu_type:
+                continue
+            if node.can_fit(chunk, cpus_per_gpu * chunk, memory_gb_per_gpu * chunk):
+                hosts += 1
+                if hosts >= chunks_needed:
+                    return True
+        return False
+
+    # -- auditing -----------------------------------------------------------------
+
+    def verify_invariants(self) -> None:
+        """Audit all books: per-node invariants plus cross-references."""
+        for node in self.nodes.values():
+            node.verify_invariants()
+        for job_id, allocation in self._job_allocations.items():
+            for node_allocation in allocation.node_allocations:
+                node = self.node(node_allocation.node_id)
+                if not node.holds_job(job_id):
+                    raise AllocationError(
+                        f"cluster books list {job_id} on {node.node_id} "
+                        "but the node does not"
+                    )
+        for node in self.nodes.values():
+            for job_id in node.jobs:
+                if job_id not in self._job_allocations:
+                    raise AllocationError(
+                        f"node {node.node_id} holds {job_id} unknown to the cluster"
+                    )
+
+    def utilization(self) -> float:
+        """Fraction of healthy GPUs currently allocated (0 when none healthy)."""
+        healthy = self.healthy_gpus
+        if healthy == 0:
+            return 0.0
+        used = sum(n.used_gpus for n in self.nodes.values() if n.healthy)
+        return used / healthy
+
+
+def build_cluster(spec: ClusterSpec, partitions: Iterable[PartitionSpec] = ()) -> Cluster:
+    """Materialise a :class:`Cluster` from a declarative spec.
+
+    Nodes in each group are laid out into racks of ``nodes_per_rack``; racks
+    are never shared between groups (matching how the campus cluster racks
+    homogeneous purchases together).
+    """
+    nodes: dict[NodeId, Node] = {}
+    racks: dict[RackId, list[NodeId]] = {}
+    rack_counter = 0
+    for group in spec.groups:
+        prefix = group.name_prefix or group.spec.gpu_type
+        for index in range(group.count):
+            if index % group.nodes_per_rack == 0:
+                rack_counter += 1
+            rack = f"rack-{rack_counter:02d}"
+            node_id = f"{prefix}-{index:03d}"
+            if node_id in nodes:
+                raise ConfigError(f"duplicate node id {node_id}; use distinct name_prefix")
+            nodes[node_id] = Node(node_id=node_id, spec=group.spec, rack_id=rack)
+            racks.setdefault(rack, []).append(node_id)
+    topology = Topology.build(racks, spec.fabric)
+    table = PartitionTable()
+    for partition in partitions:
+        missing = set(partition.node_ids) - set(nodes)
+        if missing:
+            raise ConfigError(
+                f"partition {partition.name} references unknown nodes: {sorted(missing)}"
+            )
+        table.add(partition)
+    return Cluster(name=spec.name, nodes=nodes, topology=topology, partitions=table)
+
+
+def tacc_cluster_spec() -> ClusterSpec:
+    """The campus-cluster composition used throughout the evaluation (T1).
+
+    A heterogeneous fleet mirroring the paper's mix of grant-funded
+    datacenter parts and cost-efficient consumer cards:
+
+    * 4 nodes × 8 A100-80GB  (32 GPUs)
+    * 10 nodes × 8 V100      (80 GPUs)
+    * 6 nodes × 8 RTX 3090   (48 GPUs)
+    * 4 nodes × 4 RTX 2080Ti (16 GPUs)
+
+    Total: 24 nodes, 176 GPUs.
+    """
+    return ClusterSpec(
+        name="tacc-campus",
+        groups=(
+            NodeGroup(4, NodeSpec("a100-80", 8, 128, 1024, nic_gbps=200.0), nodes_per_rack=4),
+            NodeGroup(10, NodeSpec("v100", 8, 96, 768, nic_gbps=100.0), nodes_per_rack=5),
+            NodeGroup(6, NodeSpec("rtx3090", 8, 64, 512, nic_gbps=50.0), nodes_per_rack=6),
+            NodeGroup(4, NodeSpec("rtx2080ti", 4, 32, 256, nic_gbps=25.0), nodes_per_rack=4),
+        ),
+        fabric=FabricSpec(node_uplink_gbps=100.0, leaf_uplink_gbps=400.0, oversubscription=2.0),
+    )
+
+
+def build_tacc_cluster() -> Cluster:
+    """Build the campus cluster with its standard partitions."""
+    spec = tacc_cluster_spec()
+    cluster = build_cluster(spec)
+    by_type: dict[str, list[NodeId]] = {}
+    for node_id, node in cluster.nodes.items():
+        by_type.setdefault(node.spec.gpu_type, []).append(node_id)
+    cluster.partitions.add(
+        PartitionSpec(
+            "a100", tuple(by_type["a100-80"]), max_walltime_hours=72.0, max_gpus_per_job=32
+        )
+    )
+    cluster.partitions.add(
+        PartitionSpec("v100", tuple(by_type["v100"]), max_walltime_hours=120.0, default=True)
+    )
+    cluster.partitions.add(
+        PartitionSpec(
+            "consumer",
+            tuple(by_type["rtx3090"] + by_type["rtx2080ti"]),
+            max_walltime_hours=48.0,
+            max_gpus_per_job=8,
+        )
+    )
+    return cluster
+
+
+def uniform_cluster(
+    num_nodes: int,
+    gpus_per_node: int = 8,
+    gpu_type: str = "v100",
+    cpus: int = 96,
+    memory_gb: float = 768.0,
+    nodes_per_rack: int = 8,
+) -> Cluster:
+    """Convenience factory for homogeneous clusters (tests, sweeps, F10)."""
+    spec = ClusterSpec(
+        name=f"uniform-{num_nodes}x{gpus_per_node}",
+        groups=(
+            NodeGroup(
+                num_nodes,
+                NodeSpec(gpu_type, gpus_per_node, cpus, memory_gb),
+                nodes_per_rack=nodes_per_rack,
+            ),
+        ),
+    )
+    return build_cluster(spec)

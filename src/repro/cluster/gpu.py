@@ -1,0 +1,99 @@
+"""GPU specification catalogue.
+
+The campus cluster is heterogeneous: datacenter parts (V100, A100) bought on
+research grants sit next to consumer cards (RTX 2080 Ti, RTX 3090) bought for
+cost efficiency.  Schedulers and the execution-layer performance models need
+per-type compute throughput, memory capacity, and intra-node interconnect
+bandwidth, which this catalogue provides.
+
+Throughput numbers are vendor peak specs; the performance models only use
+them for *relative* speed between GPU types, which is what placement and
+scheduling decisions depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        name: Catalogue key, e.g. ``"a100-40"``.
+        marketing_name: Human-readable name for reports.
+        memory_gb: HBM/GDDR capacity in GiB.
+        fp32_tflops: Peak single-precision throughput.
+        tensor_tflops: Peak mixed-precision tensor-core throughput (equals
+            ``fp32_tflops`` for cards without tensor cores).
+        intra_node_gbps: Per-GPU bandwidth to peers in the same node
+            (NVLink where present, otherwise PCIe).
+        datacenter_grade: True for parts with ECC + NVLink; consumer cards
+            fail more often and forbid peer-to-peer in some configurations,
+            which the failure model uses.
+        tdp_watts: Board power limit, used by the energy accounting in
+            :mod:`repro.ops.energy`.
+        idle_watts: Power draw of an allocated-but-idle or unallocated
+            board (fans + memory refresh).
+    """
+
+    name: str
+    marketing_name: str
+    memory_gb: float
+    fp32_tflops: float
+    tensor_tflops: float
+    intra_node_gbps: float
+    datacenter_grade: bool
+    tdp_watts: float = 300.0
+    idle_watts: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.fp32_tflops <= 0:
+            raise ConfigError(f"GPU spec {self.name} has non-positive capacity")
+        if self.tensor_tflops < self.fp32_tflops:
+            raise ConfigError(
+                f"GPU spec {self.name}: tensor_tflops must be >= fp32_tflops"
+            )
+
+    @property
+    def relative_speed(self) -> float:
+        """Training speed relative to a V100 (the cluster's reference part)."""
+        return self.tensor_tflops / GPU_CATALOG["v100"].tensor_tflops
+
+
+GPU_CATALOG: dict[str, GPUSpec] = {
+    spec.name: spec
+    for spec in [
+        GPUSpec("v100", "NVIDIA V100 32GB", 32, 15.7, 125.0, 300.0, True, 300.0, 55.0),
+        GPUSpec("a100-40", "NVIDIA A100 40GB", 40, 19.5, 312.0, 600.0, True, 400.0, 60.0),
+        GPUSpec("a100-80", "NVIDIA A100 80GB", 80, 19.5, 312.0, 600.0, True, 400.0, 65.0),
+        GPUSpec("p100", "NVIDIA P100 16GB", 16, 10.6, 21.2, 160.0, True, 250.0, 40.0),
+        GPUSpec("t4", "NVIDIA T4 16GB", 16, 8.1, 65.0, 32.0, True, 70.0, 15.0),
+        GPUSpec("rtx3090", "NVIDIA GeForce RTX 3090", 24, 35.6, 71.0, 32.0, False, 350.0, 35.0),
+        GPUSpec("rtx2080ti", "NVIDIA GeForce RTX 2080 Ti", 11, 13.4, 26.9, 32.0, False, 250.0, 25.0),
+    ]
+}
+
+
+def get_gpu_spec(name: str) -> GPUSpec:
+    """Look up a GPU spec by catalogue key.
+
+    Raises :class:`ConfigError` with the list of known keys on a miss, since
+    a typo in a cluster config should fail at build time, not mid-simulation.
+    """
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise ConfigError(f"unknown GPU type {name!r}; known types: {known}") from None
+
+
+def register_gpu_spec(spec: GPUSpec) -> None:
+    """Add a custom GPU model to the catalogue (idempotent for equal specs)."""
+    existing = GPU_CATALOG.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ConfigError(f"GPU type {spec.name!r} already registered with a different spec")
+    GPU_CATALOG[spec.name] = spec

@@ -1,0 +1,250 @@
+"""Node model: a server with GPUs, CPUs and memory, plus allocation state.
+
+A :class:`Node` tracks which GPU indices, CPU cores and memory each job
+holds.  All mutation goes through :meth:`Node.allocate` / :meth:`Node.free`,
+which maintain the invariant that resources are never double-booked and that
+freeing returns exactly what was allocated.  The cluster-level invariant
+checker (:meth:`repro.cluster.cluster.Cluster.verify_invariants`) audits
+these books after every simulated event in debug mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AllocationError, CapacityError, ConfigError, UnknownJobError
+from ..ids import JobId, NodeId, RackId
+from .gpu import GPUSpec, get_gpu_spec
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static hardware description of one node.
+
+    Attributes:
+        gpu_type: Catalogue key into :data:`repro.cluster.gpu.GPU_CATALOG`.
+        num_gpus: GPUs installed in the node.
+        cpus: Logical CPU cores.
+        memory_gb: Host DRAM in GiB.
+        nic_gbps: Bandwidth of the node's uplink NIC (RDMA-capable fabric on
+            the campus cluster).
+    """
+
+    gpu_type: str
+    num_gpus: int
+    cpus: int
+    memory_gb: float
+    nic_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        get_gpu_spec(self.gpu_type)  # validate the key early
+        if self.num_gpus <= 0:
+            raise ConfigError(f"num_gpus must be positive, got {self.num_gpus}")
+        if self.cpus <= 0:
+            raise ConfigError(f"cpus must be positive, got {self.cpus}")
+        if self.memory_gb <= 0:
+            raise ConfigError(f"memory_gb must be positive, got {self.memory_gb}")
+        if self.nic_gbps <= 0:
+            raise ConfigError(f"nic_gbps must be positive, got {self.nic_gbps}")
+
+    @property
+    def gpu_spec(self) -> GPUSpec:
+        return get_gpu_spec(self.gpu_type)
+
+
+@dataclass(frozen=True)
+class NodeAllocation:
+    """Immutable record of one job's holdings on one node."""
+
+    job_id: JobId
+    node_id: NodeId
+    gpu_indices: tuple[int, ...]
+    cpus: int
+    memory_gb: float
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpu_indices)
+
+
+@dataclass
+class Node:
+    """A node with live allocation bookkeeping.
+
+    Attributes:
+        node_id: Unique id, conventionally ``node-rXX-sYY``.
+        spec: Hardware description.
+        rack_id: Rack this node sits in (placement locality).
+        healthy: False while the node is failed/draining; unhealthy nodes
+            refuse new allocations but keep existing books so the simulator
+            can account for jobs killed by the failure.
+    """
+
+    node_id: NodeId
+    spec: NodeSpec
+    rack_id: RackId
+    healthy: bool = True
+    _allocations: dict[JobId, NodeAllocation] = field(default_factory=dict)
+    _free_gpu_indices: set[int] = field(default_factory=set)
+    _free_cpus: int = 0
+    _free_memory_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._free_gpu_indices = set(range(self.spec.num_gpus))
+        self._free_cpus = self.spec.cpus
+        self._free_memory_gb = self.spec.memory_gb
+
+    # -- read-only views ---------------------------------------------------
+
+    @property
+    def free_gpus(self) -> int:
+        return len(self._free_gpu_indices)
+
+    @property
+    def used_gpus(self) -> int:
+        return self.spec.num_gpus - self.free_gpus
+
+    @property
+    def free_cpus(self) -> int:
+        return self._free_cpus
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self._free_memory_gb
+
+    @property
+    def jobs(self) -> tuple[JobId, ...]:
+        return tuple(self._allocations)
+
+    @property
+    def idle(self) -> bool:
+        return not self._allocations
+
+    def allocation_for(self, job_id: JobId) -> NodeAllocation:
+        try:
+            return self._allocations[job_id]
+        except KeyError:
+            raise UnknownJobError(
+                f"job {job_id} holds no allocation on {self.node_id}"
+            ) from None
+
+    def holds_job(self, job_id: JobId) -> bool:
+        return job_id in self._allocations
+
+    def can_fit(self, gpus: int, cpus: int = 0, memory_gb: float = 0.0) -> bool:
+        """True when the node is healthy and has the free resources."""
+        return (
+            self.healthy
+            and gpus <= self.free_gpus
+            and cpus <= self._free_cpus
+            and memory_gb <= self._free_memory_gb
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def allocate(
+        self,
+        job_id: JobId,
+        gpus: int,
+        cpus: int = 0,
+        memory_gb: float = 0.0,
+    ) -> NodeAllocation:
+        """Reserve resources for *job_id* and return the allocation record.
+
+        GPU indices are assigned lowest-first so allocations are
+        deterministic.  A job may hold at most one allocation per node
+        (multi-node jobs hold one per node).
+        """
+        if gpus < 0 or cpus < 0 or memory_gb < 0:
+            raise AllocationError(
+                f"negative request for {job_id} on {self.node_id}: "
+                f"gpus={gpus} cpus={cpus} mem={memory_gb}"
+            )
+        if gpus == 0 and cpus == 0 and memory_gb == 0:
+            raise AllocationError(f"empty request for {job_id} on {self.node_id}")
+        if job_id in self._allocations:
+            raise AllocationError(
+                f"job {job_id} already holds an allocation on {self.node_id}"
+            )
+        if not self.healthy:
+            raise AllocationError(f"node {self.node_id} is unhealthy")
+        if gpus > self.spec.num_gpus or cpus > self.spec.cpus or memory_gb > self.spec.memory_gb:
+            raise CapacityError(
+                f"request for {job_id} exceeds {self.node_id} capacity: "
+                f"gpus {gpus}/{self.spec.num_gpus}, cpus {cpus}/{self.spec.cpus}, "
+                f"mem {memory_gb}/{self.spec.memory_gb}"
+            )
+        if not self.can_fit(gpus, cpus, memory_gb):
+            raise AllocationError(
+                f"node {self.node_id} cannot fit {job_id}: need "
+                f"gpus={gpus} cpus={cpus} mem={memory_gb}, free "
+                f"gpus={self.free_gpus} cpus={self._free_cpus} mem={self._free_memory_gb}"
+            )
+        indices = tuple(sorted(self._free_gpu_indices)[:gpus])
+        self._free_gpu_indices -= set(indices)
+        self._free_cpus -= cpus
+        self._free_memory_gb -= memory_gb
+        allocation = NodeAllocation(job_id, self.node_id, indices, cpus, memory_gb)
+        self._allocations[job_id] = allocation
+        return allocation
+
+    def free(self, job_id: JobId) -> NodeAllocation:
+        """Release *job_id*'s allocation and return the released record."""
+        allocation = self.allocation_for(job_id)
+        del self._allocations[job_id]
+        overlap = self._free_gpu_indices & set(allocation.gpu_indices)
+        if overlap:
+            raise AllocationError(
+                f"corrupt books on {self.node_id}: GPUs {sorted(overlap)} "
+                f"were already free while held by {job_id}"
+            )
+        self._free_gpu_indices |= set(allocation.gpu_indices)
+        self._free_cpus += allocation.cpus
+        self._free_memory_gb += allocation.memory_gb
+        return allocation
+
+    def fail(self) -> tuple[JobId, ...]:
+        """Mark the node unhealthy; return the jobs running on it.
+
+        The caller (failure model) is responsible for killing/requeueing the
+        returned jobs, which frees their allocations through :meth:`free`.
+        """
+        self.healthy = False
+        return tuple(self._allocations)
+
+    def repair(self) -> None:
+        """Return a failed node to service.
+
+        Requires all allocations to have been freed first — a repaired node
+        must come back empty.
+        """
+        if self._allocations:
+            raise AllocationError(
+                f"cannot repair {self.node_id}: jobs {sorted(self._allocations)} "
+                "still hold allocations"
+            )
+        self.healthy = True
+
+    def verify_invariants(self) -> None:
+        """Audit the books; raise :class:`AllocationError` on any corruption."""
+        held: set[int] = set()
+        for allocation in self._allocations.values():
+            indices = set(allocation.gpu_indices)
+            if indices & held:
+                raise AllocationError(
+                    f"{self.node_id}: GPU indices double-booked: {sorted(indices & held)}"
+                )
+            held |= indices
+        if held & self._free_gpu_indices:
+            raise AllocationError(
+                f"{self.node_id}: GPUs both held and free: "
+                f"{sorted(held & self._free_gpu_indices)}"
+            )
+        if held | self._free_gpu_indices != set(range(self.spec.num_gpus)):
+            raise AllocationError(f"{self.node_id}: GPU indices lost from the books")
+        used_cpus = sum(a.cpus for a in self._allocations.values())
+        if used_cpus + self._free_cpus != self.spec.cpus:
+            raise AllocationError(f"{self.node_id}: CPU books do not balance")
+        used_mem = sum(a.memory_gb for a in self._allocations.values())
+        if abs(used_mem + self._free_memory_gb - self.spec.memory_gb) > 1e-6:
+            raise AllocationError(f"{self.node_id}: memory books do not balance")

@@ -1,0 +1,27 @@
+"""Compiler Layer: task spec → execution-ready instruction, with delta cache."""
+
+from .cache import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkStore,
+    FileManifest,
+    UploadReport,
+    WorkspaceManifest,
+    chunk_bytes,
+    chunk_id,
+)
+from .compiler import CompileResult, TaskCompiler
+from .instruction import NodeLaunch, TaskInstruction
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ChunkStore",
+    "CompileResult",
+    "FileManifest",
+    "NodeLaunch",
+    "TaskCompiler",
+    "TaskInstruction",
+    "UploadReport",
+    "WorkspaceManifest",
+    "chunk_bytes",
+    "chunk_id",
+]

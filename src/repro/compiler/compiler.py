@@ -1,0 +1,143 @@
+"""The Compiler Layer: task spec → execution-ready instruction.
+
+Compilation does three things:
+
+1. **ships the workspace** through the content-addressed cache
+   (:mod:`repro.compiler.cache`), uploading only deltas;
+2. **chooses a runtime** from the task's *static characteristics* (Table 1
+   of the workflow-abstraction design): container when the task pins an
+   image or heavy dependencies, bare shell for small pip-only tasks, the
+   user's explicit hint when given;
+3. **generates launch commands** — plain for single-node tasks,
+   ``torchrun``-style rendezvous for multi-node gangs — plus environment
+   setup.
+
+The output :class:`~repro.compiler.instruction.TaskInstruction` is
+self-contained and deterministic: recompiling the same spec and workspace
+yields a byte-identical instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import CompileError
+from ..schema.taskspec import TaskSpec
+from .cache import ChunkStore, UploadReport
+from .instruction import NodeLaunch, TaskInstruction
+
+#: Pip dependency count above which provisioning is containerised.
+HEAVY_DEPENDENCY_THRESHOLD = 12
+#: Workspace size above which provisioning is containerised (image layers
+#: dedup better than ad-hoc file sync at this scale).
+HEAVY_WORKSPACE_BYTES = 2 << 30
+
+
+@dataclass(frozen=True)
+class CompileResult:
+    """Instruction plus what shipping it cost."""
+
+    instruction: TaskInstruction
+    upload: UploadReport
+
+
+class TaskCompiler:
+    """Compiles task specs against a cluster-side chunk store."""
+
+    def __init__(self, store: ChunkStore | None = None) -> None:
+        self.store = store or ChunkStore()
+
+    # -- runtime choice ---------------------------------------------------------
+
+    def choose_runtime(self, spec: TaskSpec) -> str:
+        """Pick a runtime from static characteristics (user hint wins)."""
+        if spec.runtime is not None:
+            return spec.runtime
+        if spec.environment.image:
+            return "container"
+        if len(spec.environment.pip_packages) > HEAVY_DEPENDENCY_THRESHOLD:
+            return "container"
+        if spec.total_input_bytes > HEAVY_WORKSPACE_BYTES:
+            return "container"
+        return "bare"
+
+    # -- command generation ---------------------------------------------------------
+
+    def _setup_commands(self, spec: TaskSpec, runtime: str) -> tuple[str, ...]:
+        commands = ["set -eu", "cd \"$TACC_WORKDIR\""]
+        if runtime == "container":
+            image = spec.environment.image or f"tacc/base:py{spec.environment.python_version}"
+            commands.append(f"tacc-runtime pull {image}")
+        else:
+            commands.append(f"tacc-runtime venv python{spec.environment.python_version}")
+        if spec.environment.pip_packages:
+            packages = " ".join(sorted(spec.environment.pip_packages))
+            commands.append(f"pip install --no-index --find-links \"$TACC_WHEELS\" {packages}")
+        for dataset in spec.datasets:
+            commands.append(f"tacc-data mount {dataset.sha256[:16]} {dataset.path}")
+        return tuple(commands)
+
+    def _launches(self, spec: TaskSpec) -> tuple[NodeLaunch, ...]:
+        per_node = spec.resources.gpus_per_node or spec.resources.num_gpus
+        nnodes = max(1, spec.resources.num_gpus // per_node)
+        if nnodes == 1:
+            return (NodeLaunch(rank=0, nnodes=1, command=spec.entrypoint),)
+        launches = []
+        for rank in range(nnodes):
+            command = spec.entrypoint.format(
+                rank=rank, nnodes=nnodes, master="$TACC_MASTER_ADDR"
+            )
+            if command == spec.entrypoint:
+                # Entrypoint has no placeholders: wrap in a torchrun-style
+                # launcher so each node joins the rendezvous.
+                command = (
+                    f"tacc-launch --nnodes {nnodes} --node-rank {rank} "
+                    f"--nproc-per-node {per_node} "
+                    f"--rdzv-endpoint \"$TACC_MASTER_ADDR:29500\" -- {spec.entrypoint}"
+                )
+            launches.append(NodeLaunch(rank=rank, nnodes=nnodes, command=command))
+        return tuple(launches)
+
+    # -- entry point -------------------------------------------------------------------
+
+    def compile(self, spec: TaskSpec, workspace: Mapping[str, bytes]) -> CompileResult:
+        """Compile *spec* with its *workspace* (``{path: content}``).
+
+        The workspace must contain exactly the code files the spec
+        declares, with matching sizes — the schema layer promised
+        reproducibility, so the compiler verifies it.
+        """
+        declared = {f.path: f for f in spec.code_files}
+        missing = set(declared) - set(workspace)
+        if missing:
+            raise CompileError(f"workspace missing declared files: {sorted(missing)}")
+        extra = set(workspace) - set(declared)
+        if extra:
+            raise CompileError(f"workspace has undeclared files: {sorted(extra)}")
+        for path, file_spec in declared.items():
+            if len(workspace[path]) != file_spec.size_bytes:
+                raise CompileError(
+                    f"file {path}: workspace has {len(workspace[path])} bytes, "
+                    f"spec declares {file_spec.size_bytes}"
+                )
+
+        manifest, report = self.store.upload(workspace)
+        runtime = self.choose_runtime(spec)
+        env_vars = dict(spec.environment.env_vars)
+        env_vars.setdefault("TACC_TASK", spec.name)
+        if spec.multi_node:
+            # Select the transport the execution layer will provision: IB
+            # verbs when the user asked for the RDMA fabric, TCP otherwise.
+            env_vars.setdefault("NCCL_IB_DISABLE", "0" if spec.resources.rdma else "1")
+        instruction = TaskInstruction(
+            task_name=spec.name,
+            fingerprint=spec.fingerprint(),
+            env_fingerprint=spec.environment.fingerprint(),
+            runtime=runtime,
+            setup_commands=self._setup_commands(spec, runtime),
+            launches=self._launches(spec),
+            manifest=manifest,
+            env_vars=env_vars,
+        )
+        return CompileResult(instruction=instruction, upload=report)

@@ -1,0 +1,83 @@
+"""Execution-ready task instructions — the Compiler Layer's output.
+
+A :class:`TaskInstruction` is self-contained: together with the chunk store
+it references, it carries everything the Execution Layer needs to run the
+task independently — per-node launch commands, environment setup, the file
+manifest, and the resource envelope.  Depending on the task it can be "a
+few lines of shell" (bare runtime) or a full container recipe; both shapes
+are rendered by :meth:`TaskInstruction.render_script` for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from .cache import WorkspaceManifest
+
+
+@dataclass(frozen=True)
+class NodeLaunch:
+    """The command one node runs, with its distributed rank context."""
+
+    rank: int
+    nnodes: int
+    command: str
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rank < self.nnodes:
+            raise CompileError(f"rank {self.rank} out of range for nnodes {self.nnodes}")
+
+
+@dataclass(frozen=True)
+class TaskInstruction:
+    """Everything needed to execute one compiled task.
+
+    Attributes:
+        task_name: From the spec.
+        fingerprint: The spec fingerprint (identity / cache key).
+        env_fingerprint: Environment hash — the warm-provision cache key.
+        runtime: Execution-layer runtime chosen by the compiler.
+        setup_commands: Environment preparation, run once per node.
+        launches: Per-node launch commands (one entry per node).
+        manifest: Chunk-level identity of the shipped workspace.
+        env_vars: Environment exported to the task.
+    """
+
+    task_name: str
+    fingerprint: str
+    env_fingerprint: str
+    runtime: str
+    setup_commands: tuple[str, ...]
+    launches: tuple[NodeLaunch, ...]
+    manifest: WorkspaceManifest
+    env_vars: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.launches:
+            raise CompileError(f"instruction for {self.task_name} has no launches")
+        nnodes = self.launches[0].nnodes
+        ranks = sorted(launch.rank for launch in self.launches)
+        if ranks != list(range(nnodes)) or any(l.nnodes != nnodes for l in self.launches):
+            raise CompileError(
+                f"instruction for {self.task_name} has inconsistent ranks: {ranks}"
+            )
+
+    @property
+    def nnodes(self) -> int:
+        return self.launches[0].nnodes
+
+    def render_script(self, rank: int = 0) -> str:
+        """Render the shell script a given node would execute."""
+        launch = next((l for l in self.launches if l.rank == rank), None)
+        if launch is None:
+            raise CompileError(f"no launch for rank {rank} in {self.task_name}")
+        lines = [
+            "#!/bin/sh",
+            f"# task: {self.task_name}  fingerprint: {self.fingerprint[:12]}",
+            f"# runtime: {self.runtime}  rank: {launch.rank}/{self.nnodes}",
+        ]
+        lines.extend(f"export {key}={value!r}" for key, value in sorted(self.env_vars.items()))
+        lines.extend(self.setup_commands)
+        lines.append(launch.command)
+        return "\n".join(lines) + "\n"

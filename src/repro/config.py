@@ -1,0 +1,132 @@
+"""Configuration utilities shared across subsystems.
+
+The library's configuration objects are frozen dataclasses.  This module
+provides generic dict/JSON round-tripping so configs can be stored alongside
+experiment outputs (provenance) and reloaded exactly, plus small validation
+helpers used by many config constructors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Type, TypeVar
+
+from .errors import ConfigError
+
+T = TypeVar("T")
+
+
+def config_to_dict(config: Any) -> dict[str, Any]:
+    """Recursively convert a dataclass config to plain JSON-able types."""
+    if not dataclasses.is_dataclass(config):
+        raise ConfigError(f"expected a dataclass, got {type(config).__name__}")
+    return _to_jsonable(config)
+
+
+def _to_jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def config_from_dict(cls: Type[T], data: dict[str, Any]) -> T:
+    """Rebuild a dataclass config from :func:`config_to_dict` output.
+
+    Nested dataclasses, enums, lists and tuples of dataclasses are restored
+    based on the type annotations of *cls*.  Unknown keys raise
+    :class:`ConfigError` so typos in stored configs fail loudly.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ConfigError(f"expected a dataclass type, got {cls!r}")
+    field_map = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(field_map)
+    if unknown:
+        raise ConfigError(
+            f"unknown keys for {cls.__name__}: {sorted(unknown)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, raw in data.items():
+        kwargs[name] = _from_jsonable(field_map[name].type, raw, cls)
+    return cls(**kwargs)
+
+
+def _from_jsonable(annotation: Any, raw: Any, owner: type) -> Any:
+    # Annotations may be strings under `from __future__ import annotations`.
+    if isinstance(annotation, str):
+        annotation = _resolve_annotation(annotation, owner)
+    origin = getattr(annotation, "__origin__", None)
+    if origin in (list, tuple) and isinstance(raw, list):
+        (item_type, *_rest) = getattr(annotation, "__args__", (Any,))
+        items = [_from_jsonable(item_type, item, owner) for item in raw]
+        return tuple(items) if origin is tuple else items
+    if origin is dict and isinstance(raw, dict):
+        _key_type, value_type = getattr(annotation, "__args__", (Any, Any))
+        return {k: _from_jsonable(value_type, v, owner) for k, v in raw.items()}
+    if isinstance(annotation, type):
+        if dataclasses.is_dataclass(annotation) and isinstance(raw, dict):
+            return config_from_dict(annotation, raw)
+        if issubclass(annotation, enum.Enum):
+            return annotation(raw)
+    return raw
+
+
+def _resolve_annotation(annotation: str, owner: type) -> Any:
+    import sys
+    import typing
+
+    module = sys.modules.get(owner.__module__)
+    namespace = dict(vars(typing))
+    if module is not None:
+        namespace.update(vars(module))
+    try:
+        return eval(annotation, namespace)  # noqa: S307 - controlled input
+    except Exception:
+        return Any
+
+
+def save_config(config: Any, path: str | Path) -> None:
+    """Write a dataclass config as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(config_to_dict(config), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_config(cls: Type[T], path: str | Path) -> T:
+    """Load a dataclass config previously written by :func:`save_config`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"config file {path} is not valid JSON: {exc}") from exc
+    return config_from_dict(cls, data)
+
+
+def require_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+
+
+def require_non_negative(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value >= 0``."""
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value}")
+
+
+def require_fraction(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,41 @@
+"""Execution layer: runtime systems, communication models, slowdown model."""
+
+from .comm import (
+    CommMethod,
+    PlacementShape,
+    in_network_aggregation_s,
+    parameter_server_s,
+    ring_allreduce_s,
+    shape_from_placement,
+    sync_time_s,
+    tree_allreduce_s,
+)
+from .runtime import (
+    DEFAULT_RUNTIMES,
+    ProvisionResult,
+    RuntimeRegistry,
+    RuntimeSystem,
+)
+from .storage import SharedFilesystem, StorageConfig
+from .speedup import REFERENCE_GPU, ExecModelConfig, ExecutionModel, UnitExecutionModel
+
+__all__ = [
+    "DEFAULT_RUNTIMES",
+    "REFERENCE_GPU",
+    "CommMethod",
+    "ExecModelConfig",
+    "ExecutionModel",
+    "PlacementShape",
+    "ProvisionResult",
+    "RuntimeRegistry",
+    "RuntimeSystem",
+    "SharedFilesystem",
+    "StorageConfig",
+    "UnitExecutionModel",
+    "in_network_aggregation_s",
+    "parameter_server_s",
+    "ring_allreduce_s",
+    "shape_from_placement",
+    "sync_time_s",
+    "tree_allreduce_s",
+]

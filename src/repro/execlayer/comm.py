@@ -1,0 +1,192 @@
+"""Communication-time models for distributed gradient synchronisation.
+
+The execution layer needs to know how long one gradient synchronisation
+takes for a given *placement shape* — how many GPUs sit on each node and how
+far apart the nodes are.  Four methods are modelled, matching the substrate
+options the cluster exposes:
+
+* **ring all-reduce** — hierarchical: reduce inside each node over
+  NVLink/PCIe, ring across nodes over the NIC, broadcast back.  Each
+  inter-node hop moves ``2·(k−1)/k`` of the gradient, where *k* is the node
+  count; cross-rack rings additionally squeeze through the oversubscribed
+  spine.
+* **tree all-reduce** — reduce+broadcast along a binomial tree:
+  ``2·log2(k)`` full-gradient hops; latency-friendlier, bandwidth-worse for
+  large *k*.
+* **parameter server** — every worker pushes and pulls the full gradient
+  through one PS NIC: time scales linearly with worker count.
+* **in-network aggregation (INA)** — SmartNIC/switch aggregation (ATP-style):
+  one NIC pass regardless of worker count, and the spine penalty vanishes
+  because aggregation happens at the leaf.
+
+All functions return seconds and take sizes in MB and bandwidths in Gbit/s.
+The absolute numbers are idealised; the experiments (F9) rely only on the
+*relative* ordering between localities and methods, which these formulas
+capture.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..cluster.topology import FabricSpec, Locality
+from ..errors import ValidationError
+
+_MB_TO_GBIT = 8.0 / 1000.0  # 1 MB = 0.008 Gbit
+
+
+class CommMethod(enum.Enum):
+    RING = "ring"
+    TREE = "tree"
+    PARAMETER_SERVER = "ps"
+    IN_NETWORK = "ina"
+
+
+@dataclass(frozen=True)
+class PlacementShape:
+    """Topology-relevant shape of one job's placement.
+
+    Attributes:
+        gpus_per_node: GPU count on each occupied node (order irrelevant).
+        locality: Worst distance class across the occupied nodes.
+        intra_node_gbps: Per-GPU bandwidth between same-node peers.
+        nic_gbps: Slowest occupied node's uplink bandwidth.
+        spine_oversubscription: Fabric oversubscription factor (>= 1),
+            applied when ``locality`` is CROSS_RACK.
+    """
+
+    gpus_per_node: tuple[int, ...]
+    locality: Locality
+    intra_node_gbps: float
+    nic_gbps: float
+    spine_oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.gpus_per_node or any(g <= 0 for g in self.gpus_per_node):
+            raise ValidationError("gpus_per_node must be non-empty and positive")
+        if self.intra_node_gbps <= 0 or self.nic_gbps <= 0:
+            raise ValidationError("bandwidths must be positive")
+        if self.spine_oversubscription < 1.0:
+            raise ValidationError("spine_oversubscription must be >= 1")
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(self.gpus_per_node)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.gpus_per_node)
+
+    @property
+    def effective_nic_gbps(self) -> float:
+        """NIC bandwidth after the spine penalty for cross-rack placements."""
+        if self.locality is Locality.CROSS_RACK:
+            return self.nic_gbps / self.spine_oversubscription
+        return self.nic_gbps
+
+
+def _intra_node_allreduce_s(model_mb: float, gpus: int, intra_gbps: float) -> float:
+    """Ring all-reduce time among GPUs inside one node."""
+    if gpus <= 1:
+        return 0.0
+    volume_gbit = 2.0 * (gpus - 1) / gpus * model_mb * _MB_TO_GBIT
+    return volume_gbit / intra_gbps
+
+
+def ring_allreduce_s(model_mb: float, shape: PlacementShape) -> float:
+    """Hierarchical ring all-reduce time in seconds."""
+    _check_model(model_mb)
+    max_local = max(shape.gpus_per_node)
+    local = _intra_node_allreduce_s(model_mb, max_local, shape.intra_node_gbps)
+    if shape.num_nodes == 1:
+        return local
+    k = shape.num_nodes
+    inter_gbit = 2.0 * (k - 1) / k * model_mb * _MB_TO_GBIT
+    inter = inter_gbit / shape.effective_nic_gbps
+    # Intra-node reduce before and broadcast after the inter-node phase.
+    return 2.0 * local + inter
+
+
+def tree_allreduce_s(model_mb: float, shape: PlacementShape) -> float:
+    """Binomial-tree all-reduce time in seconds."""
+    _check_model(model_mb)
+    max_local = max(shape.gpus_per_node)
+    local = _intra_node_allreduce_s(model_mb, max_local, shape.intra_node_gbps)
+    if shape.num_nodes == 1:
+        return local
+    hops = 2.0 * math.ceil(math.log2(shape.num_nodes))
+    inter = hops * model_mb * _MB_TO_GBIT / shape.effective_nic_gbps
+    return 2.0 * local + inter
+
+
+def parameter_server_s(model_mb: float, shape: PlacementShape) -> float:
+    """Central parameter-server synchronisation time in seconds.
+
+    All workers push gradients to and pull parameters from a single server
+    whose NIC matches the worker nodes'; its NIC is the bottleneck.
+    """
+    _check_model(model_mb)
+    if shape.total_gpus <= 1:
+        return 0.0
+    if shape.num_nodes == 1:
+        # PS colocated in-node: traffic stays on the GPU interconnect.
+        volume_gbit = 2.0 * shape.total_gpus * model_mb * _MB_TO_GBIT
+        return volume_gbit / shape.intra_node_gbps
+    volume_gbit = 2.0 * shape.num_nodes * model_mb * _MB_TO_GBIT
+    return volume_gbit / shape.effective_nic_gbps
+
+
+def in_network_aggregation_s(model_mb: float, shape: PlacementShape) -> float:
+    """SmartNIC/switch in-network aggregation time in seconds.
+
+    The switch aggregates at line rate, so each node sends and receives the
+    gradient exactly once, and leaf-level aggregation removes the spine
+    penalty.
+    """
+    _check_model(model_mb)
+    max_local = max(shape.gpus_per_node)
+    local = _intra_node_allreduce_s(model_mb, max_local, shape.intra_node_gbps)
+    if shape.num_nodes == 1:
+        return local
+    inter = 2.0 * model_mb * _MB_TO_GBIT / shape.nic_gbps  # no spine penalty
+    return 2.0 * local + inter
+
+
+_METHODS = {
+    CommMethod.RING: ring_allreduce_s,
+    CommMethod.TREE: tree_allreduce_s,
+    CommMethod.PARAMETER_SERVER: parameter_server_s,
+    CommMethod.IN_NETWORK: in_network_aggregation_s,
+}
+
+
+def sync_time_s(model_mb: float, shape: PlacementShape, method: CommMethod) -> float:
+    """Gradient synchronisation time for the given method, in seconds."""
+    return _METHODS[method](model_mb, shape)
+
+
+def _check_model(model_mb: float) -> None:
+    if model_mb <= 0:
+        raise ValidationError(f"model size must be positive MB, got {model_mb}")
+
+
+def shape_from_placement(
+    placement: dict[str, int],
+    cluster,
+    fabric: FabricSpec | None = None,
+) -> PlacementShape:
+    """Build a :class:`PlacementShape` from a placement on a cluster."""
+    if not placement:
+        raise ValidationError("cannot shape an empty placement")
+    nodes = [cluster.node(node_id) for node_id in sorted(placement)]
+    locality = cluster.topology.spread([n.node_id for n in nodes])
+    fabric = fabric or cluster.topology.fabric
+    return PlacementShape(
+        gpus_per_node=tuple(placement[n.node_id] for n in nodes),
+        locality=locality,
+        intra_node_gbps=min(n.spec.gpu_spec.intra_node_gbps for n in nodes),
+        nic_gbps=min(n.spec.nic_gbps for n in nodes),
+        spine_oversubscription=fabric.oversubscription,
+    )

@@ -1,0 +1,67 @@
+"""Command-line runner for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments T2                 # one experiment
+    python -m repro.experiments T2 F5 --scale 0.5  # several, quick scale
+    python -m repro.experiments --all --csv-dir out/
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..errors import ReproError
+from .registry import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures of the campus-cluster study.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment IDs (e.g. T2 F5 A1)")
+    parser.add_argument("--all", action="store_true", help="run the full suite")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv-dir", default=None, help="also export each result as CSV here")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id, spec in EXPERIMENTS.items():
+            print(f"{experiment_id:4s} [{spec.kind:6s}] {spec.title} — {spec.description}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.all else [e.upper() for e in args.experiments]
+    if not ids:
+        parser.error("name at least one experiment ID, or use --all / --list")
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    csv_dir = Path(args.csv_dir) if args.csv_dir else None
+    if csv_dir:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in ids:
+        started = time.perf_counter()
+        try:
+            result = EXPERIMENTS[experiment_id].run(seed=args.seed, scale=args.scale)
+        except ReproError as exc:
+            print(f"{experiment_id}: error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s at scale {args.scale}]\n")
+        if csv_dir:
+            result.export_csv(csv_dir / f"{experiment_id}.csv")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Typed identifier helpers.
+
+Identifiers in the library are plain strings (cheap, hashable, trivially
+serialisable) with small helpers to mint them in a deterministic, readable
+format.  A :class:`IdFactory` produces sequential ids with a prefix, e.g.
+``job-000042``; determinism matters because the simulator's tie-breaking and
+the test suite both rely on reproducible id sequences.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+JobId = str
+NodeId = str
+UserId = str
+LabId = str
+RackId = str
+PartitionId = str
+
+
+class IdFactory:
+    """Mints sequential, zero-padded string ids with a fixed prefix.
+
+    >>> f = IdFactory("job")
+    >>> f.next(), f.next()
+    ('job-000000', 'job-000001')
+    """
+
+    def __init__(self, prefix: str, width: int = 6, start: int = 0) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self.prefix = prefix
+        self.width = width
+        self._counter = itertools.count(start)
+
+    def next(self) -> str:
+        """Return the next id in the sequence."""
+        return f"{self.prefix}-{next(self._counter):0{self.width}d}"
+
+    def take(self, n: int) -> list[str]:
+        """Return the next *n* ids as a list."""
+        return [self.next() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next()
+
+
+def job_id(index: int) -> JobId:
+    """Format a job id from an integer index (inverse of :func:`id_index`)."""
+    return f"job-{index:06d}"
+
+
+def node_id(rack: int, slot: int) -> NodeId:
+    """Format a node id from rack and in-rack slot numbers."""
+    return f"node-r{rack:02d}-s{slot:02d}"
+
+
+def id_index(identifier: str) -> int:
+    """Extract the trailing integer index from an id like ``job-000042``.
+
+    Raises :class:`ValueError` when the id has no trailing integer.
+    """
+    tail = identifier.rsplit("-", 1)[-1]
+    return int(tail)

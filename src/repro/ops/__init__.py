@@ -1,0 +1,58 @@
+"""Operational analytics: distributions, fairness, fragmentation, reports."""
+
+from .dashboard import live_dashboard, run_report
+from .energy import EnergyConfig, EnergyReport, energy_report
+from .planning import ExpansionOption, plan_capacity
+from .timeline import JobSegment, job_segments, render_gantt
+from .analytics import (
+    Cdf,
+    arrivals_per_hour_of_day,
+    duration_cdf_by_class,
+    gpu_demand_distribution,
+    queue_depth_series,
+    slowdown_stats,
+    utilization_series,
+    wait_cdf,
+)
+from .fairness import (
+    LabQuotaReport,
+    fairness_summary,
+    gpu_hours_by_entity,
+    jain_index,
+    quota_adherence,
+)
+from .fragmentation import FragmentationProbe, FragmentationSnapshot, snapshot
+from .reports import render_series, render_table, series_to_rows, sparkline, write_csv
+
+__all__ = [
+    "Cdf",
+    "EnergyConfig",
+    "EnergyReport",
+    "ExpansionOption",
+    "FragmentationProbe",
+    "FragmentationSnapshot",
+    "LabQuotaReport",
+    "arrivals_per_hour_of_day",
+    "duration_cdf_by_class",
+    "energy_report",
+    "fairness_summary",
+    "gpu_demand_distribution",
+    "gpu_hours_by_entity",
+    "JobSegment",
+    "jain_index",
+    "live_dashboard",
+    "queue_depth_series",
+    "job_segments",
+    "plan_capacity",
+    "quota_adherence",
+    "render_gantt",
+    "render_series",
+    "run_report",
+    "render_table",
+    "series_to_rows",
+    "slowdown_stats",
+    "snapshot",
+    "sparkline",
+    "wait_cdf",
+    "write_csv",
+]

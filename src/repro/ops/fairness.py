@@ -1,0 +1,116 @@
+"""Fairness metrics across users and labs (experiment T5).
+
+Two views of fairness matter operationally:
+
+* **Jain's index** over per-entity allocations — 1.0 when everyone got the
+  same, → 1/n when one entity got everything;
+* **quota adherence** — how close each lab's *guaranteed-tier* service came
+  to its entitlement, and how much free-tier service it harvested on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..sched.quota import QuotaConfig
+from ..workload.job import JobTier
+
+
+def jain_index(allocations) -> float:
+    """Jain's fairness index of a non-negative allocation vector."""
+    array = np.asarray(list(allocations), dtype=float)
+    if array.size == 0:
+        raise ValidationError("jain_index of an empty vector is undefined")
+    if np.any(array < 0):
+        raise ValidationError("allocations must be non-negative")
+    total = array.sum()
+    if total == 0:
+        return 1.0  # nobody got anything: vacuously fair
+    return float(total**2 / (array.size * (array**2).sum()))
+
+
+def gpu_hours_by_entity(jobs, key: str = "lab_id", tier: JobTier | None = None) -> dict[str, float]:
+    """Served GPU-hours grouped by ``user_id`` or ``lab_id``."""
+    if key not in ("user_id", "lab_id"):
+        raise ValidationError(f"key must be 'user_id' or 'lab_id', got {key!r}")
+    population = jobs.values() if isinstance(jobs, dict) else jobs
+    hours: dict[str, float] = {}
+    for job in population:
+        if tier is not None and job.tier is not tier:
+            continue
+        entity = getattr(job, key)
+        hours[entity] = hours.get(entity, 0.0) + job.gpu_seconds_used / 3600.0
+    return dict(sorted(hours.items()))
+
+
+@dataclass(frozen=True)
+class LabQuotaReport:
+    """One lab's row in the T5 fairness table."""
+
+    lab: str
+    quota_gpus: int
+    guaranteed_gpu_hours: float
+    opportunistic_gpu_hours: float
+    entitlement_gpu_hours: float
+
+    @property
+    def adherence(self) -> float:
+        """Guaranteed service relative to entitlement (can exceed 1 when a
+        lab's demand was bursty and the scheduler let it catch up)."""
+        if self.entitlement_gpu_hours == 0:
+            return float("nan")
+        return self.guaranteed_gpu_hours / self.entitlement_gpu_hours
+
+    @property
+    def free_tier_bonus(self) -> float:
+        """Opportunistic GPU-hours as a fraction of entitlement."""
+        if self.entitlement_gpu_hours == 0:
+            return float("nan")
+        return self.opportunistic_gpu_hours / self.entitlement_gpu_hours
+
+
+def quota_adherence(
+    jobs,
+    quota: QuotaConfig,
+    horizon_s: float,
+) -> list[LabQuotaReport]:
+    """Per-lab quota adherence over a run of length *horizon_s* seconds.
+
+    Entitlement is ``quota × horizon`` — what the lab could have consumed
+    by keeping its guaranteed GPUs busy the whole time.
+    """
+    if horizon_s <= 0:
+        raise ValidationError(f"horizon must be positive, got {horizon_s}")
+    guaranteed = gpu_hours_by_entity(jobs, "lab_id", JobTier.GUARANTEED)
+    opportunistic = gpu_hours_by_entity(jobs, "lab_id", JobTier.OPPORTUNISTIC)
+    labs = sorted(set(guaranteed) | set(opportunistic) | set(quota.quotas))
+    reports = []
+    for lab in labs:
+        quota_gpus = quota.quotas.get(lab, 0)
+        reports.append(
+            LabQuotaReport(
+                lab=lab,
+                quota_gpus=quota_gpus,
+                guaranteed_gpu_hours=guaranteed.get(lab, 0.0),
+                opportunistic_gpu_hours=opportunistic.get(lab, 0.0),
+                entitlement_gpu_hours=quota_gpus * horizon_s / 3600.0,
+            )
+        )
+    return reports
+
+
+def fairness_summary(jobs, key: str = "lab_id") -> dict[str, float]:
+    """Headline fairness numbers for a finished run."""
+    hours = gpu_hours_by_entity(jobs, key)
+    if not hours:
+        return {"jain": float("nan"), "entities": 0.0, "max_share": float("nan")}
+    values = np.asarray(list(hours.values()))
+    total = values.sum()
+    return {
+        "jain": jain_index(values),
+        "entities": float(values.size),
+        "max_share": float(values.max() / total) if total else float("nan"),
+    }

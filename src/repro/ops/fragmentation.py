@@ -1,0 +1,94 @@
+"""GPU fragmentation metrics (experiment F8).
+
+A cluster can be far from full yet unable to start an 8-GPU job because its
+free GPUs are scattered one per node.  These metrics quantify that state:
+
+* **largest allocatable block** — the biggest single-node GPU chunk
+  startable right now;
+* **external fragmentation** — ``1 − largest_block / min(total_free,
+  max_node_capacity)``: 0 when the widest possible single-node request is
+  startable (or nothing is free at all), → 1 when free GPUs are dust
+  scattered one per node;
+* **startable width profile** — for each power-of-two width, how many such
+  jobs could start simultaneously, the operational view a cluster operator
+  actually watches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FragmentationSnapshot:
+    """Fragmentation state of a cluster at one instant."""
+
+    free_gpus: int
+    largest_block: int
+    external_fragmentation: float
+    startable: dict[int, int]  # width -> how many such single-node jobs fit
+
+    def as_row(self) -> dict[str, float]:
+        row: dict[str, float] = {
+            "free_gpus": float(self.free_gpus),
+            "largest_block": float(self.largest_block),
+            "frag": self.external_fragmentation,
+        }
+        for width, count in self.startable.items():
+            row[f"fit_{width}g"] = float(count)
+        return row
+
+
+def snapshot(cluster: Cluster, widths: tuple[int, ...] = (1, 2, 4, 8)) -> FragmentationSnapshot:
+    """Measure fragmentation of the cluster's current free capacity."""
+    free_per_node = [
+        node.free_gpus for node in cluster.nodes.values() if node.healthy and node.free_gpus > 0
+    ]
+    free_total = sum(free_per_node)
+    largest = max(free_per_node, default=0)
+    max_capacity = max(
+        (node.spec.num_gpus for node in cluster.nodes.values() if node.healthy), default=0
+    )
+    startable = {
+        width: sum(free // width for free in free_per_node) for width in sorted(widths)
+    }
+    usable_bound = min(free_total, max_capacity)
+    fragmentation = 0.0 if usable_bound == 0 else 1.0 - largest / usable_bound
+    return FragmentationSnapshot(
+        free_gpus=free_total,
+        largest_block=largest,
+        external_fragmentation=fragmentation,
+        startable=startable,
+    )
+
+
+@dataclass
+class FragmentationProbe:
+    """Collects fragmentation snapshots over a simulation.
+
+    Wire it as (or into) a placement policy's hooks, or call
+    :meth:`observe` from a sampling loop; :meth:`summary` averages the run.
+    """
+
+    snapshots: list[FragmentationSnapshot] | None = None
+
+    def __post_init__(self) -> None:
+        if self.snapshots is None:
+            self.snapshots = []
+
+    def observe(self, cluster: Cluster) -> FragmentationSnapshot:
+        snap = snapshot(cluster)
+        self.snapshots.append(snap)
+        return snap
+
+    def summary(self) -> dict[str, float]:
+        if not self.snapshots:
+            return {"mean_frag": float("nan"), "max_frag": float("nan"), "observations": 0.0}
+        frags = [snap.external_fragmentation for snap in self.snapshots]
+        return {
+            "mean_frag": sum(frags) / len(frags),
+            "max_frag": max(frags),
+            "observations": float(len(frags)),
+        }

@@ -1,0 +1,135 @@
+"""Report rendering: the tables and figure-series the benchmarks print.
+
+Every benchmark regenerates one paper table or figure; these helpers give
+them a uniform look — fixed-width ASCII tables for tables, aligned
+``x  y1 y2 …`` blocks (plus optional sparklines) for figure series — and a
+CSV export so results can be re-plotted outside the repo.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..errors import ValidationError
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render dict rows as an aligned ASCII table (columns from row keys)."""
+    if not rows:
+        return f"{title}\n(empty)\n" if title else "(empty)\n"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_format_cell(row.get(col, ""), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for line in cells:
+        out.write("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) + "\n")
+    return out.getvalue()
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "x",
+    precision: int = 3,
+    max_rows: int = 40,
+) -> str:
+    """Render named (x, y) series as one aligned block sharing the x axis.
+
+    Series are aligned on the union of x values; missing points print
+    blank.  Long series are downsampled evenly to *max_rows*.
+    """
+    if not series:
+        return f"{title}\n(no series)\n" if title else "(no series)\n"
+    xs: list[float] = sorted({x for points in series.values() for x, _y in points})
+    lookup = {name: dict(points) for name, points in series.items()}
+    if len(xs) > max_rows:
+        step = (len(xs) - 1) / (max_rows - 1)
+        xs = [xs[round(i * step)] for i in range(max_rows)]
+    names = list(series)
+    rows = []
+    for x in xs:
+        row: dict[str, object] = {x_label: x}
+        for name in names:
+            y = lookup[name].get(x)
+            row[name] = "" if y is None else y
+        rows.append(row)
+    return render_table(rows, title=title, precision=precision)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a numeric sequence (empty input → '')."""
+    data = [v for v in values if v == v]  # drop NaN
+    if not data:
+        return ""
+    low, high = min(data), max(data)
+    span = high - low
+    if span == 0:
+        return _SPARK_CHARS[0] * len(data)
+    return "".join(
+        _SPARK_CHARS[min(len(_SPARK_CHARS) - 1, int((v - low) / span * len(_SPARK_CHARS)))]
+        for v in data
+    )
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> None:
+    """Write dict rows to CSV (columns = union of keys, insertion order)."""
+    if not rows:
+        raise ValidationError("cannot write an empty CSV")
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+
+
+def series_to_rows(
+    series: Mapping[str, Sequence[tuple[float, float]]], x_label: str = "x"
+) -> list[dict[str, float]]:
+    """Flatten named series into join-on-x rows (for CSV export)."""
+    xs: list[float] = sorted({x for points in series.values() for x, _y in points})
+    lookup = {name: dict(points) for name, points in series.items()}
+    rows = []
+    for x in xs:
+        row: dict[str, float] = {x_label: x}
+        for name in series:
+            if x in lookup[name]:
+                row[name] = lookup[name][x]
+        rows.append(row)
+    return rows

@@ -1,0 +1,108 @@
+"""Scheduling policies and placement strategies."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .backfill import ConservativeBackfillScheduler, EasyBackfillScheduler
+from .base import OrderedQueueScheduler, ScheduleContext, Scheduler, drain_order
+from .drf import DrfScheduler
+from .elastic import ElasticScheduler, grant_candidates
+from .fair import FairShareScheduler
+from .fifo import FifoScheduler, GreedyFifoScheduler
+from .gang import GangScheduler
+from .placement import (
+    PLACEMENT_POLICIES,
+    BestFitPlacement,
+    BuddyCellPlacement,
+    FirstFitPlacement,
+    PlacementPolicy,
+    TopologyAwarePlacement,
+    WorstFitPlacement,
+    make_placement,
+)
+from .predictor import DurationPredictor, PredictedSjfScheduler
+from .priority import MultifactorPriority, PriorityWeights, UsageTracker
+from .quota import QuotaConfig, TieredQuotaScheduler
+from .sjf import LargestJobFirstScheduler, SjfOracleScheduler, SjfScheduler, SrtfScheduler
+from .tiresias import TiresiasScheduler
+
+#: Schedulers constructible with no mandatory arguments.
+SCHEDULERS = {
+    "fifo": FifoScheduler,
+    "fifo-greedy": GreedyFifoScheduler,
+    "sjf": SjfScheduler,
+    "sjf-oracle": SjfOracleScheduler,
+    "srtf": SrtfScheduler,
+    "sjf-predicted": PredictedSjfScheduler,
+    "ljf": LargestJobFirstScheduler,
+    "fair-share": FairShareScheduler,
+    "drf": DrfScheduler,
+    "elastic": ElasticScheduler,
+    "backfill-easy": EasyBackfillScheduler,
+    "backfill-conservative": ConservativeBackfillScheduler,
+    "gang": GangScheduler,
+    "tiresias": TiresiasScheduler,
+}
+
+
+def make_scheduler(
+    name: str,
+    placement: PlacementPolicy | str | None = None,
+    **kwargs,
+) -> Scheduler:
+    """Instantiate a scheduler by registry name.
+
+    ``tiered-quota`` requires a ``quota=QuotaConfig(...)`` keyword; all
+    other registry entries construct with defaults.
+    """
+    if isinstance(placement, str):
+        placement = make_placement(placement)
+    if name == "tiered-quota":
+        if "quota" not in kwargs:
+            raise ConfigError("tiered-quota requires a quota=QuotaConfig(...) argument")
+        return TieredQuotaScheduler(placement=placement, **kwargs)
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        known = sorted(SCHEDULERS) + ["tiered-quota"]
+        raise ConfigError(f"unknown scheduler {name!r}; known: {known}") from None
+    return cls(placement=placement, **kwargs)
+
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "SCHEDULERS",
+    "BestFitPlacement",
+    "BuddyCellPlacement",
+    "ConservativeBackfillScheduler",
+    "DrfScheduler",
+    "DurationPredictor",
+    "ElasticScheduler",
+    "EasyBackfillScheduler",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "FirstFitPlacement",
+    "GangScheduler",
+    "GreedyFifoScheduler",
+    "LargestJobFirstScheduler",
+    "MultifactorPriority",
+    "OrderedQueueScheduler",
+    "PlacementPolicy",
+    "PredictedSjfScheduler",
+    "PriorityWeights",
+    "QuotaConfig",
+    "ScheduleContext",
+    "Scheduler",
+    "SjfOracleScheduler",
+    "SjfScheduler",
+    "SrtfScheduler",
+    "TieredQuotaScheduler",
+    "TiresiasScheduler",
+    "TopologyAwarePlacement",
+    "UsageTracker",
+    "WorstFitPlacement",
+    "drain_order",
+    "grant_candidates",
+    "make_placement",
+    "make_scheduler",
+]

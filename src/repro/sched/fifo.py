@@ -1,0 +1,30 @@
+"""FIFO scheduling: strict and greedy variants.
+
+Strict FIFO (``blocking=True``) is the classic head-of-line queue — nothing
+may overtake a job that cannot start, so one wide job stalls the cluster
+behind it (the motivation for backfill, F6).  Greedy FIFO lets later jobs
+skip an unplaceable head, trading strict arrival-order fairness for
+utilization; it is the "no reservation" end of the backfill ablation.
+"""
+
+from __future__ import annotations
+
+from ..workload.job import Job
+from .base import OrderedQueueScheduler
+
+
+class FifoScheduler(OrderedQueueScheduler):
+    """Strict first-in-first-out with head-of-line blocking."""
+
+    name = "fifo"
+    blocking = True
+
+    def sort_key(self, job: Job, now: float):
+        return job.submit_time
+
+
+class GreedyFifoScheduler(FifoScheduler):
+    """FIFO ordering, but later jobs may skip an unplaceable head."""
+
+    name = "fifo-greedy"
+    blocking = False

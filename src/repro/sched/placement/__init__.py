@@ -1,0 +1,44 @@
+"""Placement policies: where on the cluster a request's GPUs land."""
+
+from .base import PlacementPolicy, candidate_nodes, node_fits_chunk, request_chunks
+from .best_fit import BestFitPlacement, WorstFitPlacement
+from .first_fit import FirstFitPlacement
+from .hived import BuddyCellPlacement, next_pow2, pow2_decompose
+from .topology_aware import TopologyAwarePlacement
+
+PLACEMENT_POLICIES = {
+    "first-fit": FirstFitPlacement,
+    "best-fit": BestFitPlacement,
+    "worst-fit": WorstFitPlacement,
+    "topology-aware": TopologyAwarePlacement,
+    "buddy-cell": BuddyCellPlacement,
+}
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Instantiate a placement policy by registry name."""
+    from ...errors import ConfigError
+
+    try:
+        return PLACEMENT_POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement policy {name!r}; known: {sorted(PLACEMENT_POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "BestFitPlacement",
+    "BuddyCellPlacement",
+    "FirstFitPlacement",
+    "PlacementPolicy",
+    "TopologyAwarePlacement",
+    "WorstFitPlacement",
+    "candidate_nodes",
+    "make_placement",
+    "next_pow2",
+    "node_fits_chunk",
+    "pow2_decompose",
+    "request_chunks",
+]

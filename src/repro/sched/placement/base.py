@@ -1,0 +1,115 @@
+"""Placement policy interface and shared chunking logic.
+
+Given a resource request and the live cluster, a placement policy returns
+``{node_id: gpu_count}`` or ``None`` when it declines to place now.  All
+policies share the same feasibility rules, implemented here:
+
+* a placement uses a single GPU type (mixing types in one data-parallel
+  job pins the job to the slowest card, so the cluster forbids it);
+* a request splits into equal *chunks*: single-node jobs are one chunk of
+  ``num_gpus``; multi-node jobs are ``num_gpus / gpus_per_node`` chunks,
+  each filling its node allocation entirely (gang semantics);
+* every chunk's node must also fit the per-GPU CPU/memory ask.
+
+Stateful allocators (HiveD buddy cells) additionally receive
+``on_allocate`` / ``on_free`` callbacks from the simulator so their internal
+books track the cluster.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ...cluster.cluster import Cluster
+from ...cluster.node import Node
+from ...ids import JobId, NodeId
+from ...workload.job import ResourceRequest
+
+
+def request_chunks(request: ResourceRequest) -> list[int]:
+    """Split a request into per-node GPU chunks.
+
+    >>> request_chunks(ResourceRequest(num_gpus=16, gpus_per_node=8))
+    [8, 8]
+    >>> request_chunks(ResourceRequest(num_gpus=4))
+    [4]
+    """
+    per_node = request.gpus_per_node
+    if per_node is None or request.num_gpus <= per_node:
+        return [request.num_gpus]
+    return [per_node] * (request.num_gpus // per_node)
+
+
+def node_fits_chunk(node: Node, request: ResourceRequest, chunk: int) -> bool:
+    """True when *node* can host one chunk of *request* right now."""
+    if request.gpu_type is not None and node.spec.gpu_type != request.gpu_type:
+        return False
+    if request.allowed_nodes is not None and node.node_id not in request.allowed_nodes:
+        return False
+    return node.can_fit(
+        chunk,
+        cpus=request.cpus_per_gpu * chunk,
+        memory_gb=request.memory_gb_per_gpu * chunk,
+    )
+
+
+def candidate_nodes(cluster: Cluster, request: ResourceRequest, chunk: int) -> list[Node]:
+    """Healthy nodes that can host one chunk, in deterministic id order."""
+    return [
+        node
+        for node_id, node in sorted(cluster.nodes.items())
+        if node_fits_chunk(node, request, chunk)
+    ]
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy object answering "where should this request run?"."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        """Return a placement or ``None`` when the request cannot start now."""
+
+    # -- lifecycle hooks for stateful allocators -------------------------------
+
+    def on_allocate(self, cluster: Cluster, job_id: JobId, placement: dict[NodeId, int]) -> None:
+        """Called by the simulator after a placement commits."""
+
+    def on_free(self, cluster: Cluster, job_id: JobId, placement: dict[NodeId, int]) -> None:
+        """Called by the simulator after a job's resources are released."""
+
+    def _assemble(
+        self,
+        cluster: Cluster,
+        request: ResourceRequest,
+        ranked_nodes: list[Node],
+    ) -> dict[NodeId, int] | None:
+        """Greedily assign chunks to *ranked_nodes* (one chunk per node).
+
+        Shared tail of most policies: the policy ranks candidates, this
+        helper takes the first ``len(chunks)`` of them.  Since all chunks of
+        a request are equal, feasibility per node is uniform.
+        """
+        chunks = request_chunks(request)
+        if len(ranked_nodes) < len(chunks):
+            return None
+        if request.gpu_type is None:
+            # Single-type constraint: take the best type that has enough nodes.
+            by_type: dict[str, list[Node]] = {}
+            for node in ranked_nodes:
+                by_type.setdefault(node.spec.gpu_type, []).append(node)
+            for gpu_type in sorted(
+                by_type, key=lambda t: ranked_nodes.index(by_type[t][0])
+            ):
+                nodes = by_type[gpu_type]
+                if len(nodes) >= len(chunks):
+                    return {
+                        node.node_id: chunk
+                        for node, chunk in zip(nodes, chunks)
+                    }
+            return None
+        return {node.node_id: chunk for node, chunk in zip(ranked_nodes, chunks)}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

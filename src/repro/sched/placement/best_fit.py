@@ -1,0 +1,44 @@
+"""Best-fit (tightest-fit) placement, plus worst-fit for comparison.
+
+Best-fit ranks candidate nodes by the free GPUs *left over* after hosting a
+chunk, ascending — filling nearly-full nodes first keeps whole nodes empty
+for wide jobs, reducing external fragmentation relative to first-fit.
+Worst-fit does the opposite (emptiest node first); it spreads load, which
+helps per-node interference but wrecks multi-GPU schedulability, and serves
+as the anti-baseline in the F8 experiment.
+"""
+
+from __future__ import annotations
+
+from ...cluster.cluster import Cluster
+from ...ids import NodeId
+from ...workload.job import ResourceRequest
+from .base import PlacementPolicy, candidate_nodes, request_chunks
+
+
+class BestFitPlacement(PlacementPolicy):
+    """Rank candidates by leftover free GPUs ascending (tightest first)."""
+
+    name = "best-fit"
+
+    def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        chunk = request_chunks(request)[0]
+        candidates = candidate_nodes(cluster, request, chunk)
+        ranked = sorted(
+            candidates, key=lambda node: (node.free_gpus - chunk, node.node_id)
+        )
+        return self._assemble(cluster, request, ranked)
+
+
+class WorstFitPlacement(PlacementPolicy):
+    """Rank candidates by leftover free GPUs descending (emptiest first)."""
+
+    name = "worst-fit"
+
+    def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        chunk = request_chunks(request)[0]
+        candidates = candidate_nodes(cluster, request, chunk)
+        ranked = sorted(
+            candidates, key=lambda node: (-(node.free_gpus - chunk), node.node_id)
+        )
+        return self._assemble(cluster, request, ranked)

@@ -1,0 +1,24 @@
+"""First-fit placement: take the first nodes (in id order) that fit.
+
+The simplest baseline: fast, deterministic, but fragmentation-blind — small
+jobs land on the emptiest-id nodes and strand partial nodes, which the F8
+placement experiment quantifies against best-fit and buddy-cell allocation.
+"""
+
+from __future__ import annotations
+
+from ...cluster.cluster import Cluster
+from ...ids import NodeId
+from ...workload.job import ResourceRequest
+from .base import PlacementPolicy, candidate_nodes, request_chunks
+
+
+class FirstFitPlacement(PlacementPolicy):
+    """Scan nodes in id order; take the first that fit each chunk."""
+
+    name = "first-fit"
+
+    def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        chunk = request_chunks(request)[0]
+        candidates = candidate_nodes(cluster, request, chunk)
+        return self._assemble(cluster, request, candidates)

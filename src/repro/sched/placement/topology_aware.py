@@ -1,0 +1,78 @@
+"""Topology-aware placement: minimise rack spread, then pack tightly.
+
+Distributed training throughput drops when replicas cross the
+oversubscribed spine (see :mod:`repro.execlayer.comm`), so this policy
+first tries to land all chunks of a job inside a single rack, choosing the
+rack that can *barely* host it (leaving roomier racks for wider jobs), and
+packs best-fit within the rack.  Only when no single rack suffices does it
+spill across racks, using as few as possible.
+"""
+
+from __future__ import annotations
+
+from ...cluster.cluster import Cluster
+from ...cluster.node import Node
+from ...ids import NodeId, RackId
+from ...workload.job import ResourceRequest
+from .base import PlacementPolicy, candidate_nodes, request_chunks
+
+
+class TopologyAwarePlacement(PlacementPolicy):
+    """Pack chunks into the fewest racks, tightest rack first."""
+
+    name = "topology-aware"
+
+    def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        chunk = request_chunks(request)[0]
+        num_chunks = len(request_chunks(request))
+        candidates = candidate_nodes(cluster, request, chunk)
+        if not candidates:
+            return None
+        # Respect the single-GPU-type rule per attempt; prefer the type
+        # that yields the fewest racks, then deterministic type order.
+        best: dict[NodeId, int] | None = None
+        best_key: tuple[int, str] | None = None
+        for gpu_type in sorted({node.spec.gpu_type for node in candidates}):
+            typed = [n for n in candidates if n.spec.gpu_type == gpu_type]
+            placement = self._place_typed(typed, chunk, num_chunks)
+            if placement is None:
+                continue
+            racks = len({cluster.node(nid).rack_id for nid in placement})
+            key = (racks, gpu_type)
+            if best_key is None or key < best_key:
+                best, best_key = placement, key
+        return best
+
+    def _place_typed(
+        self, nodes: list[Node], chunk: int, num_chunks: int
+    ) -> dict[NodeId, int] | None:
+        if len(nodes) < num_chunks:
+            return None
+        by_rack: dict[RackId, list[Node]] = {}
+        for node in nodes:
+            by_rack.setdefault(node.rack_id, []).append(node)
+        # Single-rack attempt: tightest rack that can host everything.
+        fitting = [
+            (len(members), rack) for rack, members in by_rack.items() if len(members) >= num_chunks
+        ]
+        if fitting:
+            _count, rack = min(fitting)
+            chosen = self._tightest(by_rack[rack], num_chunks, chunk)
+            return {node.node_id: chunk for node in chosen}
+        # Spill: largest racks first to minimise rack count, tight within each.
+        placement: dict[NodeId, int] = {}
+        remaining = num_chunks
+        for rack in sorted(by_rack, key=lambda r: (-len(by_rack[r]), r)):
+            take = min(remaining, len(by_rack[rack]))
+            for node in self._tightest(by_rack[rack], take, chunk):
+                placement[node.node_id] = chunk
+            remaining -= take
+            if remaining == 0:
+                return placement
+        return None
+
+    @staticmethod
+    def _tightest(nodes: list[Node], count: int, chunk: int) -> list[Node]:
+        """Best-fit selection of *count* nodes from one rack."""
+        ranked = sorted(nodes, key=lambda node: (node.free_gpus - chunk, node.node_id))
+        return ranked[:count]

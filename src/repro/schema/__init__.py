@@ -1,0 +1,29 @@
+"""Task Schema Layer: self-contained, reproducible task descriptions."""
+
+from .parser import (
+    dump_yaml_subset,
+    parse_task_file,
+    parse_task_text,
+    parse_yaml_subset,
+    spec_from_dict,
+    spec_to_yaml,
+)
+from .taskspec import EnvironmentSpec, FileSpec, QosSpec, ResourceSpec, TaskSpec
+from .validate import ValidationIssue, ensure_valid, validate_spec
+
+__all__ = [
+    "EnvironmentSpec",
+    "FileSpec",
+    "QosSpec",
+    "ResourceSpec",
+    "TaskSpec",
+    "ValidationIssue",
+    "dump_yaml_subset",
+    "ensure_valid",
+    "parse_task_file",
+    "parse_task_text",
+    "parse_yaml_subset",
+    "spec_from_dict",
+    "spec_to_yaml",
+    "validate_spec",
+]

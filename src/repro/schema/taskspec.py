@@ -1,0 +1,212 @@
+"""The Task Schema Layer: self-contained, validated task descriptions.
+
+Every task submitted to the cluster is described by a :class:`TaskSpec` —
+the first layer of the 4-layer workflow abstraction.  The schema is
+*self-contained*: it names the code, data, dependencies, environment,
+resources and QoS of the task, so the same spec reproduces the same
+execution on any cluster instance, and specs can be shared between
+researchers as artifacts.
+
+Specs are plain frozen dataclasses with strict validation and a canonical
+``fingerprint()`` (SHA-256 over the canonical JSON form) that the compiler
+and execution layers use as cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, field
+
+from ..errors import SchemaError
+from ..workload.job import JobTier, ResourceRequest
+
+_NAME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9._-]{0,63}$")
+_SHA256_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """One file the task ships (code) or mounts (dataset)."""
+
+    path: str
+    size_bytes: int
+    sha256: str
+
+    def __post_init__(self) -> None:
+        if not self.path or self.path.startswith("/"):
+            raise SchemaError(f"file path must be relative and non-empty: {self.path!r}")
+        if ".." in self.path.split("/"):
+            raise SchemaError(f"file path may not contain '..': {self.path!r}")
+        if self.size_bytes < 0:
+            raise SchemaError(f"file {self.path}: negative size")
+        if not _SHA256_RE.match(self.sha256):
+            raise SchemaError(f"file {self.path}: sha256 must be 64 hex chars")
+
+    @classmethod
+    def of_bytes(cls, path: str, data: bytes) -> "FileSpec":
+        return cls(path=path, size_bytes=len(data), sha256=hashlib.sha256(data).hexdigest())
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Runtime environment: base image plus dependency pins.
+
+    An empty ``image`` means bare-metal provisioning with only
+    ``pip_packages`` installed into a fresh virtualenv.
+    """
+
+    image: str = ""
+    python_version: str = "3.10"
+    pip_packages: tuple[str, ...] = ()
+    env_vars: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not re.match(r"^\d+\.\d+$", self.python_version):
+            raise SchemaError(
+                f"python_version must look like '3.10', got {self.python_version!r}"
+            )
+        for package in self.pip_packages:
+            if not package or " " in package:
+                raise SchemaError(f"malformed pip package spec: {package!r}")
+        for key in self.env_vars:
+            if not re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", key):
+                raise SchemaError(f"malformed environment variable name: {key!r}")
+
+    def fingerprint(self) -> str:
+        """Stable hash of the environment, the warm-cache key downstream."""
+        canonical = json.dumps(
+            {
+                "image": self.image,
+                "python": self.python_version,
+                "pip": sorted(self.pip_packages),
+                "env": dict(sorted(self.env_vars.items())),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Compute, network and QoS-adjacent resource asks."""
+
+    num_gpus: int = 1
+    gpus_per_node: int | None = None
+    gpu_type: str | None = None
+    cpus_per_gpu: int = 4
+    memory_gb_per_gpu: float = 32.0
+    walltime_hours: float = 24.0
+    partition: str | None = None
+    rdma: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise SchemaError(f"num_gpus must be positive, got {self.num_gpus}")
+        if self.gpus_per_node is not None and self.gpus_per_node <= 0:
+            raise SchemaError("gpus_per_node must be positive when given")
+        if (
+            self.gpus_per_node is not None
+            and self.num_gpus > self.gpus_per_node
+            and self.num_gpus % self.gpus_per_node
+        ):
+            raise SchemaError(
+                f"num_gpus={self.num_gpus} not a multiple of gpus_per_node={self.gpus_per_node}"
+            )
+        if self.cpus_per_gpu < 0 or self.memory_gb_per_gpu < 0:
+            raise SchemaError("per-GPU cpu/memory must be non-negative")
+        if self.walltime_hours <= 0:
+            raise SchemaError(f"walltime_hours must be positive, got {self.walltime_hours}")
+
+    def to_request(self) -> ResourceRequest:
+        """Convert to the scheduler-facing :class:`ResourceRequest`."""
+        return ResourceRequest(
+            num_gpus=self.num_gpus,
+            gpus_per_node=self.gpus_per_node,
+            gpu_type=self.gpu_type,
+            cpus_per_gpu=self.cpus_per_gpu,
+            memory_gb_per_gpu=self.memory_gb_per_gpu,
+        )
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """Access tier and preemption consent."""
+
+    tier: str = "guaranteed"
+    preemptible: bool | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            JobTier(self.tier)
+        except ValueError:
+            valid = [t.value for t in JobTier]
+            raise SchemaError(f"unknown tier {self.tier!r}; valid tiers: {valid}") from None
+
+    @property
+    def job_tier(self) -> JobTier:
+        return JobTier(self.tier)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A complete, self-contained task description.
+
+    Attributes:
+        name: Task name (also the default experiment label).
+        entrypoint: Command executed on every node (placeholders
+            ``{rank}``/``{nnodes}``/``{master}`` are filled by the compiler
+            for distributed launches).
+        code_files: Source files shipped with the task.
+        datasets: Input data mounted from the shared filesystem.
+        environment: Runtime environment description.
+        resources: Hardware ask.
+        qos: Tier/preemption.
+        model: Optional DNN profile name for performance modelling.
+        runtime: Preferred execution-layer runtime, or None to let the
+            compiler decide from static characteristics.
+        cluster: Target cluster profile name (tcloud multi-cluster).
+    """
+
+    name: str
+    entrypoint: str
+    code_files: tuple[FileSpec, ...] = ()
+    datasets: tuple[FileSpec, ...] = ()
+    environment: EnvironmentSpec = EnvironmentSpec()
+    resources: ResourceSpec = ResourceSpec()
+    qos: QosSpec = QosSpec()
+    model: str = ""
+    runtime: str | None = None
+    cluster: str | None = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SchemaError(
+                f"task name {self.name!r} must match {_NAME_RE.pattern}"
+            )
+        if not self.entrypoint.strip():
+            raise SchemaError("entrypoint must be a non-empty command")
+        paths = [f.path for f in self.code_files + self.datasets]
+        duplicates = {p for p in paths if paths.count(p) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate file paths in spec: {sorted(duplicates)}")
+
+    @property
+    def total_input_bytes(self) -> int:
+        return sum(f.size_bytes for f in self.code_files + self.datasets)
+
+    @property
+    def multi_node(self) -> bool:
+        per_node = self.resources.gpus_per_node or self.resources.num_gpus
+        return self.resources.num_gpus > per_node
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["environment"]["env_vars"] = dict(self.environment.env_vars)
+        return data
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form — the task's identity."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=list)
+        return hashlib.sha256(canonical.encode()).hexdigest()

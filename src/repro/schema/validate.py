@@ -1,0 +1,140 @@
+"""Cross-field validation of task specs against a target cluster.
+
+Schema-level validation (field shapes) lives on the dataclasses; this
+module validates the *semantics* that need context: does the requested GPU
+type exist on the target cluster, does the partition admit the job, does
+the per-GPU memory cover the declared model's working set.  The frontend
+runs these checks at submission so users fail in seconds, not after hours
+in the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..errors import SchemaError
+from ..workload.models import MODEL_CATALOG
+from .taskspec import TaskSpec
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found during semantic validation."""
+
+    severity: str  # "error" | "warning"
+    field: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.field}: {self.message}"
+
+
+def validate_spec(spec: TaskSpec, cluster: Cluster | None = None) -> list[ValidationIssue]:
+    """Return all issues found; errors make the spec unsubmittable."""
+    issues: list[ValidationIssue] = []
+    issues.extend(_validate_model(spec))
+    if cluster is not None:
+        issues.extend(_validate_against_cluster(spec, cluster))
+    return issues
+
+
+def ensure_valid(spec: TaskSpec, cluster: Cluster | None = None) -> list[ValidationIssue]:
+    """Validate; raise :class:`SchemaError` on any error-severity issue.
+
+    Returns the warnings so callers can surface them.
+    """
+    issues = validate_spec(spec, cluster)
+    errors = [issue for issue in issues if issue.severity == "error"]
+    if errors:
+        details = "; ".join(str(issue) for issue in errors)
+        raise SchemaError(f"task {spec.name!r} failed validation: {details}")
+    return [issue for issue in issues if issue.severity == "warning"]
+
+
+def _validate_model(spec: TaskSpec) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    if not spec.model:
+        return issues
+    profile = MODEL_CATALOG.get(spec.model)
+    if profile is None:
+        issues.append(
+            ValidationIssue(
+                "error",
+                "model",
+                f"unknown model {spec.model!r}; known: {sorted(MODEL_CATALOG)}",
+            )
+        )
+        return issues
+    if spec.resources.memory_gb_per_gpu < profile.batch_memory_gb:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "resources.memory_gb_per_gpu",
+                f"{spec.resources.memory_gb_per_gpu:.0f} GB/GPU is below the "
+                f"~{profile.batch_memory_gb:.0f} GB working set of {spec.model}; "
+                "the task may OOM",
+            )
+        )
+    return issues
+
+
+def _validate_against_cluster(spec: TaskSpec, cluster: Cluster) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    resources = spec.resources
+    if resources.gpu_type is not None:
+        matching = cluster.nodes_of_type(resources.gpu_type)
+        if not matching:
+            census = sorted(cluster.gpu_census())
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "resources.gpu_type",
+                    f"cluster {cluster.name!r} has no {resources.gpu_type!r} nodes; "
+                    f"available types: {census}",
+                )
+            )
+            return issues
+
+    chunk = min(resources.num_gpus, resources.gpus_per_node or resources.num_gpus)
+    hosts = [
+        node
+        for node in cluster.nodes.values()
+        if (resources.gpu_type is None or node.spec.gpu_type == resources.gpu_type)
+        and node.spec.num_gpus >= chunk
+        and node.spec.cpus >= resources.cpus_per_gpu * chunk
+        and node.spec.memory_gb >= resources.memory_gb_per_gpu * chunk
+    ]
+    chunks_needed = max(1, resources.num_gpus // chunk)
+    if len(hosts) < chunks_needed:
+        issues.append(
+            ValidationIssue(
+                "error",
+                "resources",
+                f"request needs {chunks_needed} node(s) hosting {chunk} GPUs "
+                f"(+{resources.cpus_per_gpu * chunk} CPUs, "
+                f"{resources.memory_gb_per_gpu * chunk:.0f} GB each); cluster "
+                f"{cluster.name!r} has only {len(hosts)} such node(s)",
+            )
+        )
+
+    chunks = max(1, resources.num_gpus // chunk)
+    if chunks > 1 and not resources.rdma:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "resources.rdma",
+                "multi-node job without rdma: true — gradient sync will run "
+                "over TCP and cross-node scaling will suffer; the RDMA "
+                "fabric is free to request",
+            )
+        )
+
+    if resources.partition is not None and len(cluster.partitions) > 0:
+        partition = cluster.partitions.get(resources.partition)  # raises ConfigError
+        reason = partition.rejection_reason(
+            resources.num_gpus, resources.walltime_hours, spec.qos.tier
+        )
+        if reason is not None:
+            issues.append(ValidationIssue("error", "resources.partition", reason))
+    return issues

@@ -1,0 +1,41 @@
+"""Discrete-event cluster simulation."""
+
+from .engine import SimulationEngine
+from .events import (
+    Event,
+    JobArrival,
+    JobFinish,
+    MetricsSample,
+    NodeFailure,
+    NodeRepair,
+    QuantumExpiry,
+    SchedulerTick,
+    priority_of,
+)
+from .failures import FailureConfig, FailureInjector
+from .metrics import MetricsCollector, Sample, SimMetrics, percentiles, summarize
+from .simulator import ClusterSimulator, SimConfig, SimulationResult, simulate
+
+__all__ = [
+    "ClusterSimulator",
+    "Event",
+    "FailureConfig",
+    "FailureInjector",
+    "JobArrival",
+    "JobFinish",
+    "MetricsCollector",
+    "MetricsSample",
+    "NodeFailure",
+    "NodeRepair",
+    "QuantumExpiry",
+    "Sample",
+    "SchedulerTick",
+    "SimConfig",
+    "SimMetrics",
+    "SimulationEngine",
+    "SimulationResult",
+    "percentiles",
+    "priority_of",
+    "simulate",
+    "summarize",
+]

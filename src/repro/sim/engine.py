@@ -1,0 +1,127 @@
+"""Discrete-event engine: a clock plus a deterministically ordered queue.
+
+The engine is deliberately minimal and generic — it knows nothing about
+clusters or jobs.  Handlers are registered per event *type*; the engine pops
+events in ``(time, priority, sequence)`` order and dispatches.  Determinism
+is a hard requirement (the test suite asserts byte-identical reruns), hence
+the explicit sequence-number tiebreak instead of relying on heap stability,
+which :mod:`heapq` does not provide.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..errors import EventOrderError, SimulationError
+from .events import Event, priority_of
+
+Handler = Callable[[float, Event], None]
+
+
+class SimulationEngine:
+    """Event queue + clock + handler dispatch.
+
+    Usage::
+
+        engine = SimulationEngine()
+        engine.register(JobArrival, on_arrival)
+        engine.schedule_at(0.0, JobArrival("job-000000"))
+        engine.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._handlers: dict[type, Handler] = {}
+        self._stopped = False
+
+    # -- configuration ---------------------------------------------------------
+
+    def register(self, event_type: type, handler: Handler) -> None:
+        """Register the handler for an event type (one handler per type)."""
+        if event_type in self._handlers:
+            raise SimulationError(f"handler for {event_type.__name__} already registered")
+        self._handlers[event_type] = handler
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule_at(self, time: float, event: Event) -> None:
+        """Enqueue *event* at absolute *time* (must not precede the clock)."""
+        if time < self.now - 1e-9:
+            raise EventOrderError(
+                f"cannot schedule {type(event).__name__} at {time}; clock is at {self.now}"
+            )
+        heapq.heappush(self._heap, (max(time, self.now), priority_of(event), self._sequence, event))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, event: Event) -> None:
+        """Enqueue *event* after *delay* seconds."""
+        if delay < 0:
+            raise EventOrderError(f"negative delay {delay} for {type(event).__name__}")
+        self.schedule_at(self.now + delay, event)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or ``None`` when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def has_pending(self, event_type: type) -> bool:
+        """True when any queued event is an instance of *event_type*."""
+        return any(isinstance(entry[3], event_type) for entry in self._heap)
+
+    # -- execution -----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request a stop; :meth:`run` returns before the next dispatch."""
+        self._stopped = True
+
+    def step(self) -> Event | None:
+        """Dispatch one event; returns it, or ``None`` when the queue is empty."""
+        if not self._heap:
+            return None
+        time, _priority, _sequence, event = heapq.heappop(self._heap)
+        if time < self.now - 1e-9:
+            raise EventOrderError(
+                f"event {type(event).__name__} at {time} is in the past (now={self.now})"
+            )
+        self.now = max(self.now, time)
+        handler = self._handlers.get(type(event))
+        if handler is None:
+            raise SimulationError(f"no handler registered for {type(event).__name__}")
+        handler(self.now, event)
+        self.events_processed += 1
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        Args:
+            until: Stop once the next event would be strictly after this
+                time (the clock is then advanced to ``until``).
+            max_events: Safety valve for runaway simulations.
+        """
+        processed = 0
+        self._stopped = False
+        while self._heap and not self._stopped:
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded max_events={max_events}; "
+                    "likely a scheduling livelock"
+                )
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self.now = max(self.now, until)
+                break
+            self.step()
+            processed += 1
+        if until is not None and not self._heap:
+            self.now = max(self.now, until)
+        return processed

@@ -1,0 +1,89 @@
+"""Node failure injection.
+
+Hardware failures in the operational study follow two regimes: datacenter
+parts fail rarely, consumer cards (bought for cost efficiency) markedly more
+often.  The injector samples per-node time-to-failure from an exponential
+distribution whose rate depends on the node's GPU grade, and repair times
+from a log-normal (most repairs are a reboot, a tail needs parts).
+
+The injector only *samples*; the simulator owns applying the consequences
+(killing the node's jobs, requeueing or failing them, scheduling the
+repair).  This keeps all state mutation in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.node import Node
+from ..config import require_positive
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Failure-injection parameters.
+
+    Attributes:
+        mtbf_hours: Mean time between failures for a datacenter-grade node.
+        consumer_mtbf_factor: Consumer-grade nodes fail this many times more
+            often (MTBF divided by the factor).
+        repair_hours_median: Median repair duration.
+        repair_sigma: Log-normal sigma of repair durations.
+        max_job_restarts: A job killed by hardware more than this many times
+            is marked FAILED(hardware) instead of requeueing forever.
+    """
+
+    mtbf_hours: float = 24.0 * 30.0
+    consumer_mtbf_factor: float = 4.0
+    repair_hours_median: float = 2.0
+    repair_sigma: float = 1.0
+    max_job_restarts: int = 5
+
+    def __post_init__(self) -> None:
+        require_positive("mtbf_hours", self.mtbf_hours)
+        require_positive("repair_hours_median", self.repair_hours_median)
+        require_positive("repair_sigma", self.repair_sigma)
+        if self.consumer_mtbf_factor < 1.0:
+            raise ConfigError("consumer_mtbf_factor must be >= 1")
+        if self.max_job_restarts < 0:
+            raise ConfigError("max_job_restarts must be >= 0")
+
+
+class FailureInjector:
+    """Samples failure and repair times per node."""
+
+    def __init__(self, config: FailureConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+
+    def node_mtbf_s(self, node: Node) -> float:
+        mtbf_hours = self.config.mtbf_hours
+        if not node.spec.gpu_spec.datacenter_grade:
+            mtbf_hours /= self.config.consumer_mtbf_factor
+        return mtbf_hours * 3600.0
+
+    def time_to_failure_s(self, node: Node) -> float:
+        """Exponential TTF sample for *node*."""
+        return float(self.rng.exponential(self.node_mtbf_s(node)))
+
+    def repair_time_s(self) -> float:
+        """Log-normal repair duration sample."""
+        return float(
+            self.rng.lognormal(
+                mean=np.log(self.config.repair_hours_median * 3600.0),
+                sigma=self.config.repair_sigma,
+            )
+        )
+
+    def initial_failures(self, cluster: Cluster) -> list[tuple[float, str]]:
+        """(time, node_id) of the first failure of every node, time-ordered."""
+        events = [
+            (self.time_to_failure_s(node), node_id)
+            for node_id, node in sorted(cluster.nodes.items())
+        ]
+        events.sort()
+        return events

@@ -1,0 +1,199 @@
+"""Metrics collection for trace-driven simulations.
+
+Two kinds of measurement coexist:
+
+* **exact integrals** — GPU utilization is integrated event-by-event
+  (every allocation change contributes ``used_gpus × dt``), so the average
+  utilization in a result is exact, not sampled;
+* **time series samples** — periodic snapshots (queue depth, used GPUs,
+  running jobs) drive the F4 utilization-over-time figure.
+
+Aggregation happens once, in :func:`summarize`, which turns the raw job
+population into the numbers the paper's tables report: JCT and queueing
+percentiles, per-tier breakdowns, preemption and failure counts, makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..workload.job import FailureCategory, Job, JobState, JobTier
+
+
+def percentiles(values, points=(50, 90, 95, 99)) -> dict[str, float]:
+    """Named percentiles of a sequence (empty input → all NaN)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return {f"p{p}": float("nan") for p in points}
+    return {f"p{p}": float(np.percentile(array, p)) for p in points}
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One periodic snapshot of cluster state."""
+
+    time: float
+    used_gpus: int
+    total_gpus: int
+    queue_depth: int
+    running_jobs: int
+
+    @property
+    def utilization(self) -> float:
+        return self.used_gpus / self.total_gpus if self.total_gpus else 0.0
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates counters, the utilization integral, and samples."""
+
+    total_gpus: int
+    samples: list[Sample] = field(default_factory=list)
+    preemptions: int = 0
+    node_failures: int = 0
+    job_restarts: int = 0
+    rejected_jobs: int = 0
+    provision_seconds: float = 0.0
+    stage_seconds: float = 0.0
+    walltime_kills: int = 0
+    scheduler_passes: int = 0
+    _last_time: float = 0.0
+    _used_gpus: int = 0
+    _used_integral: float = 0.0  # gpu-seconds
+
+    def on_used_changed(self, now: float, used_gpus: int) -> None:
+        """Advance the utilization integral to *now* with the new level."""
+        if now < self._last_time - 1e-9:
+            raise SimulationError(
+                f"metrics time went backwards: {now} < {self._last_time}"
+            )
+        self._used_integral += self._used_gpus * max(0.0, now - self._last_time)
+        self._last_time = now
+        self._used_gpus = used_gpus
+
+    def sample(self, now: float, used_gpus: int, queue_depth: int, running: int) -> None:
+        self.samples.append(Sample(now, used_gpus, self.total_gpus, queue_depth, running))
+
+    def served_gpu_seconds(self, now: float) -> float:
+        """Exact GPU-seconds allocated from time 0 to *now*."""
+        return self._used_integral + self._used_gpus * max(0.0, now - self._last_time)
+
+    def average_utilization(self, now: float) -> float:
+        if now <= 0 or self.total_gpus == 0:
+            return 0.0
+        return self.served_gpu_seconds(now) / (self.total_gpus * now)
+
+
+@dataclass(frozen=True)
+class SimMetrics:
+    """Final aggregates of one simulation run."""
+
+    jobs_total: int
+    jobs_completed: int
+    jobs_failed: int
+    jobs_killed: int
+    jobs_unfinished: int
+    makespan_s: float
+    avg_utilization: float
+    served_gpu_hours: float
+    jct_mean_s: float
+    jct_percentiles: dict[str, float]
+    wait_mean_s: float
+    wait_percentiles: dict[str, float]
+    wait_mean_by_tier: dict[str, float]
+    preemptions: int
+    preemptions_by_tier: dict[str, int]
+    node_failures: int
+    job_restarts: int
+    rejected_jobs: int
+    provision_seconds: float
+    stage_seconds: float
+    walltime_kills: int
+    failure_taxonomy: dict[str, int]
+    gpu_hours_by_lab: dict[str, float]
+    scheduler_passes: int
+
+    def as_row(self) -> dict[str, float]:
+        """Flat row for the T2 scheduler-comparison table."""
+        return {
+            "completed": float(self.jobs_completed),
+            "avg_jct_h": self.jct_mean_s / 3600.0,
+            "p50_jct_h": self.jct_percentiles["p50"] / 3600.0,
+            "p99_jct_h": self.jct_percentiles["p99"] / 3600.0,
+            "avg_wait_h": self.wait_mean_s / 3600.0,
+            "p99_wait_h": self.wait_percentiles["p99"] / 3600.0,
+            "utilization": self.avg_utilization,
+            "makespan_h": self.makespan_s / 3600.0,
+            "preemptions": float(self.preemptions),
+        }
+
+
+def summarize(
+    jobs: dict[str, Job],
+    collector: MetricsCollector,
+    now: float,
+) -> SimMetrics:
+    """Aggregate a finished (or truncated) run into :class:`SimMetrics`."""
+    population = list(jobs.values())
+    completed = [j for j in population if j.state is JobState.COMPLETED]
+    failed = [j for j in population if j.state is JobState.FAILED]
+    killed = [j for j in population if j.state is JobState.KILLED]
+    unfinished = [j for j in population if not j.state.terminal]
+
+    jcts = [j.jct for j in completed if j.jct is not None]
+    waits = [j.wait_time for j in population if j.wait_time is not None]
+
+    wait_by_tier: dict[str, list[float]] = {tier.value: [] for tier in JobTier}
+    preempt_by_tier: dict[str, int] = {tier.value: 0 for tier in JobTier}
+    for job in population:
+        if job.wait_time is not None:
+            wait_by_tier[job.tier.value].append(job.wait_time)
+        preempt_by_tier[job.tier.value] += job.preemptions
+
+    taxonomy: dict[str, int] = {category.value: 0 for category in FailureCategory}
+    for job in failed:
+        if job.failure_category is not None:
+            taxonomy[job.failure_category.value] += 1
+
+    gpu_hours_by_lab: dict[str, float] = {}
+    for job in population:
+        gpu_hours_by_lab[job.lab_id] = (
+            gpu_hours_by_lab.get(job.lab_id, 0.0) + job.gpu_seconds_used / 3600.0
+        )
+
+    ends = [j.end_time for j in population if j.end_time is not None]
+    submits = [j.submit_time for j in population]
+    makespan = (max(ends) - min(submits)) if ends and submits else 0.0
+
+    return SimMetrics(
+        jobs_total=len(population),
+        jobs_completed=len(completed),
+        jobs_failed=len(failed),
+        jobs_killed=len(killed),
+        jobs_unfinished=len(unfinished),
+        makespan_s=makespan,
+        avg_utilization=collector.average_utilization(now),
+        served_gpu_hours=collector.served_gpu_seconds(now) / 3600.0,
+        jct_mean_s=float(np.mean(jcts)) if jcts else float("nan"),
+        jct_percentiles=percentiles(jcts),
+        wait_mean_s=float(np.mean(waits)) if waits else float("nan"),
+        wait_percentiles=percentiles(waits),
+        wait_mean_by_tier={
+            tier: (float(np.mean(values)) if values else float("nan"))
+            for tier, values in wait_by_tier.items()
+        },
+        preemptions=collector.preemptions,
+        preemptions_by_tier=preempt_by_tier,
+        node_failures=collector.node_failures,
+        job_restarts=collector.job_restarts,
+        rejected_jobs=collector.rejected_jobs,
+        provision_seconds=collector.provision_seconds,
+        stage_seconds=collector.stage_seconds,
+        walltime_kills=collector.walltime_kills,
+        failure_taxonomy=taxonomy,
+        gpu_hours_by_lab=dict(sorted(gpu_hours_by_lab.items())),
+        scheduler_passes=collector.scheduler_passes,
+    )

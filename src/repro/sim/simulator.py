@@ -1,0 +1,520 @@
+"""Trace-driven cluster simulator: wires cluster, scheduler, and workload.
+
+:class:`ClusterSimulator` replays a job trace against a cluster under a
+scheduling policy, producing :class:`~repro.sim.metrics.SimMetrics`.  All
+state mutation — allocations, job lifecycle transitions, metric updates —
+happens inside this class's event handlers; schedulers act only through the
+``start_job`` / ``preempt_job`` callbacks in their
+:class:`~repro.sched.base.ScheduleContext`, and placement policies only
+observe via their hooks.
+
+Event flow per job: ``JobArrival`` enqueues it with the scheduler and
+requests a scheduling pass; the pass may start it (allocating resources and
+scheduling a ``JobFinish`` at ``now + provision + remaining_work ×
+slowdown``); preemption or a node failure cancels the attempt (the stale
+``JobFinish`` is ignored via the attempt counter) and requeues the job;
+the final ``JobFinish`` completes or fails it per its scripted failure
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..errors import SchedulingError, SimulationError
+from ..execlayer.runtime import RuntimeRegistry
+from ..execlayer.speedup import ExecutionModel, UnitExecutionModel
+from ..ids import JobId, NodeId
+from ..sched.base import ScheduleContext, Scheduler
+from ..workload.job import FailureCategory, Job, JobState
+from ..workload.trace import Trace
+from .engine import SimulationEngine
+from .events import (
+    JobArrival,
+    JobFinish,
+    MetricsSample,
+    NodeFailure,
+    NodeRepair,
+    QuantumExpiry,
+    SchedulerTick,
+    StageComplete,
+)
+from .failures import FailureConfig, FailureInjector
+from .metrics import MetricsCollector, SimMetrics, summarize
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator knobs independent of policy.
+
+    Attributes:
+        sample_interval_s: Period of time-series snapshots (0 disables).
+        checkpoint_loss_s: Work redone after a graceful preemption
+            (checkpoint granularity).
+        provisioning: When True, runtime provisioning time (execution layer)
+            is charged at the start of every attempt.
+        verify_every: Audit cluster invariants every N events (0 = off;
+            tests use small values, benchmarks 0).
+        max_events: Safety valve against livelocked policies.
+        seed: Seed for simulator-owned randomness (provisioning failures,
+            node failure sampling).
+        enforce_walltime: Kill jobs whose cumulative running wall time
+            exceeds their user wall-time limit, as Slurm does.  Off by
+            default because several experiments study estimate *quality*,
+            which enforcement would entangle.
+        max_job_preemptions: A job preempted more than this many times is
+            failed with ``PREEMPTION_LIMIT`` instead of requeued forever
+            (0 = unlimited).
+        record_timeline: Record every lifecycle event as a
+            :class:`TimelineEvent` on the result (Gantt rendering,
+            debugging).  Off by default: it grows with job count.
+    """
+
+    sample_interval_s: float = 600.0
+    checkpoint_loss_s: float = 30.0
+    provisioning: bool = False
+    verify_every: int = 0
+    max_events: int | None = None
+    seed: int = 0
+    enforce_walltime: bool = False
+    max_job_preemptions: int = 0
+    record_timeline: bool = False
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One recorded lifecycle event (``record_timeline=True`` runs)."""
+
+    time: float
+    kind: str  # submit|reject|start|preempt|requeue|complete|fail|kill|node_down|node_up
+    subject: str  # job id or node id
+    detail: str = ""
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    scheduler: str
+    placement: str
+    trace_name: str
+    metrics: SimMetrics
+    jobs: dict[JobId, Job]
+    samples: list
+    end_time: float
+    events_processed: int
+    timeline: list["TimelineEvent"] = field(default_factory=list)
+
+    def summary(self) -> dict[str, float]:
+        row = self.metrics.as_row()
+        row["events"] = float(self.events_processed)
+        return row
+
+
+class ClusterSimulator:
+    """Replays a trace on a cluster under a scheduling policy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        trace: Trace,
+        exec_model: ExecutionModel | None = None,
+        failure_config: FailureConfig | None = None,
+        runtime_registry: RuntimeRegistry | None = None,
+        storage: "SharedFilesystem | None" = None,
+        config: SimConfig | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.trace = trace
+        self.config = config or SimConfig()
+        self.exec_model = exec_model or UnitExecutionModel()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.runtime_registry = runtime_registry or RuntimeRegistry()
+        self.storage = storage
+        self.engine = SimulationEngine()
+        self.metrics = MetricsCollector(total_gpus=cluster.total_gpus)
+        self.jobs: dict[JobId, Job] = {}
+        self.running: dict[JobId, Job] = {}
+        self._attempt_outcome: dict[tuple[JobId, int], tuple[str, FailureCategory | None]] = {}
+        self._wall_used: dict[JobId, float] = {}  # cumulative running wall time
+        self.timeline: list[TimelineEvent] = []
+        self._tick_pending = False
+        self._failure_injector: FailureInjector | None = None
+        if failure_config is not None:
+            self._failure_injector = FailureInjector(failure_config, self.rng)
+
+        for job in trace:
+            if job.job_id in self.jobs:
+                raise SimulationError(f"duplicate job id {job.job_id} in trace")
+            self.jobs[job.job_id] = job
+
+        engine = self.engine
+        engine.register(JobArrival, self._on_arrival)
+        engine.register(JobFinish, self._on_finish)
+        engine.register(SchedulerTick, self._on_tick)
+        engine.register(QuantumExpiry, self._on_quantum)
+        engine.register(MetricsSample, self._on_sample)
+        engine.register(NodeFailure, self._on_node_failure)
+        engine.register(NodeRepair, self._on_node_repair)
+        engine.register(StageComplete, self._on_stage_complete)
+
+        for job in trace:
+            engine.schedule_at(job.submit_time, JobArrival(job.job_id))
+        if self.config.sample_interval_s > 0 and trace:
+            engine.schedule_at(0.0, MetricsSample())
+        quantum = scheduler.tick_interval()
+        if quantum is not None and trace:
+            engine.schedule_at(quantum, QuantumExpiry())
+        if self._failure_injector is not None:
+            for time, node_id in self._failure_injector.initial_failures(cluster):
+                engine.schedule_at(time, NodeFailure(node_id))
+
+    # -- public API ---------------------------------------------------------------
+
+    def submit_job(self, job: Job) -> None:
+        """Dynamically submit a job to a live simulation (tcloud path).
+
+        The job's ``submit_time`` must not precede the simulation clock.
+        """
+        if job.job_id in self.jobs:
+            raise SimulationError(f"job {job.job_id} already submitted")
+        if job.submit_time < self.engine.now - 1e-9:
+            raise SimulationError(
+                f"job {job.job_id} submit_time {job.submit_time} is in the past "
+                f"(now={self.engine.now})"
+            )
+        self.jobs[job.job_id] = job
+        self.engine.schedule_at(job.submit_time, JobArrival(job.job_id))
+        if self.config.sample_interval_s > 0 and not self.engine.has_pending(MetricsSample):
+            self.engine.schedule_at(self.engine.now, MetricsSample())
+        quantum = self.scheduler.tick_interval()
+        if quantum is not None and not self.engine.has_pending(QuantumExpiry):
+            self.engine.schedule_in(quantum, QuantumExpiry())
+
+    def kill_job(self, job_id: JobId) -> None:
+        """Kill a queued or running job immediately (user cancellation)."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise SimulationError(f"unknown job {job_id}")
+        if job.state.terminal:
+            return
+        now = self.engine.now
+        if job.state is JobState.RUNNING:
+            self._release(job)
+        else:
+            self.scheduler.remove(job_id)
+        job.kill(now)
+        self._record(now, "kill", job.job_id, "user")
+        self.scheduler.notify_finish(job, now)
+        self._request_tick(now)
+
+    def run(self, until: float | None = None) -> SimulationResult:
+        """Run to quiescence (or *until*) and return aggregated results."""
+        self.engine.run(until=until, max_events=self.config.max_events)
+        now = self.engine.now
+        self.metrics.on_used_changed(now, self.cluster.used_gpus)
+        return SimulationResult(
+            scheduler=self.scheduler.name,
+            placement=self.scheduler.placement.name,
+            trace_name=self.trace.name,
+            metrics=summarize(self.jobs, self.metrics, now),
+            jobs=self.jobs,
+            samples=self.metrics.samples,
+            end_time=now,
+            events_processed=self.engine.events_processed,
+            timeline=self.timeline,
+        )
+
+    # -- event handlers --------------------------------------------------------------
+
+    def _record(self, now: float, kind: str, subject: str, detail: str = "") -> None:
+        if self.config.record_timeline:
+            self.timeline.append(TimelineEvent(now, kind, subject, detail))
+
+    def _on_arrival(self, now: float, event: JobArrival) -> None:
+        job = self.jobs[event.job_id]
+        if not self._admit_partition(job) or not self._statically_feasible(job):
+            job.kill(now)
+            self.metrics.rejected_jobs += 1
+            self._record(now, "reject", job.job_id)
+            return
+        self.scheduler.enqueue(job, now)
+        self._record(now, "submit", job.job_id)
+        self._request_tick(now)
+
+    def _admit_partition(self, job: Job) -> bool:
+        """Route a partition-named job: admission limits + node restriction.
+
+        Jobs that name no partition bypass routing entirely (the campus
+        default); jobs naming an unknown or rejecting partition are
+        rejected at submission, as Slurm would.
+        """
+        if job.partition is None:
+            return True
+        from dataclasses import replace
+
+        from ..errors import ConfigError
+
+        try:
+            partition = self.cluster.partitions.get(job.partition)
+        except ConfigError:
+            return False
+        walltime_hours = (job.walltime_estimate or job.duration) / 3600.0
+        if not partition.admits(job.num_gpus, walltime_hours, job.tier.value):
+            return False
+        job.request = replace(job.request, allowed_nodes=frozenset(partition.node_ids))
+        return True
+
+    def _on_tick(self, now: float, event: SchedulerTick) -> None:
+        self._tick_pending = False
+        self._run_scheduler_pass(now)
+
+    def _on_quantum(self, now: float, event: QuantumExpiry) -> None:
+        self._run_scheduler_pass(now)
+        quantum = self.scheduler.tick_interval()
+        if quantum is not None and self._work_remains():
+            self.engine.schedule_in(quantum, QuantumExpiry())
+
+    def _run_scheduler_pass(self, now: float) -> None:
+        ctx = ScheduleContext(
+            now=now,
+            cluster=self.cluster,
+            running=self.running,
+            start_job=lambda job, placement: self._start_job(now, job, placement),
+            preempt_job=lambda job: self._preempt_job(now, job),
+        )
+        self.scheduler.schedule(ctx)
+        self.metrics.scheduler_passes += 1
+        self._maybe_verify()
+
+    def _on_finish(self, now: float, event: JobFinish) -> None:
+        job = self.jobs[event.job_id]
+        if job.attempts != event.attempt or job.state is not JobState.RUNNING:
+            return  # stale event from a preempted/killed attempt
+        outcome, category = self._attempt_outcome.pop((job.job_id, event.attempt))
+        self._release(job)
+        if outcome == "fail":
+            assert category is not None
+            job.fail(now, category)
+            self._record(now, "fail", job.job_id, category.value)
+        elif outcome == "walltime":
+            job.kill(now)
+            self.metrics.walltime_kills += 1
+            self._record(now, "kill", job.job_id, "walltime")
+        else:
+            job.complete(now)
+            self._record(now, "complete", job.job_id)
+        self.scheduler.notify_finish(job, now)
+        self._request_tick(now)
+        self._maybe_verify()
+
+    def _on_sample(self, now: float, event: MetricsSample) -> None:
+        self.metrics.sample(
+            now, self.cluster.used_gpus, self.scheduler.queue_depth, len(self.running)
+        )
+        if self.config.sample_interval_s > 0 and self._work_remains():
+            self.engine.schedule_in(self.config.sample_interval_s, MetricsSample())
+
+    def _on_node_failure(self, now: float, event: NodeFailure) -> None:
+        node = self.cluster.node(event.node_id)
+        if not node.healthy:
+            return  # already down (overlapping failure sample)
+        victim_ids = sorted(self.cluster.fail_node(event.node_id))
+        for job_id in victim_ids:
+            job = self.jobs[job_id]
+            if job.state is not JobState.RUNNING:
+                continue
+            self._release(job)
+            injector = self._failure_injector
+            max_restarts = injector.config.max_job_restarts if injector else 0
+            if job.attempts > max_restarts:
+                job.fail(now, FailureCategory.HARDWARE)
+                self._record(now, "fail", job.job_id, "hardware")
+                self.scheduler.notify_finish(job, now)
+            else:
+                job.requeue(now, work_lost=True)
+                self.metrics.job_restarts += 1
+                self._record(now, "requeue", job.job_id, "node_failure")
+                self.scheduler.enqueue(job, now)
+        self.metrics.node_failures += 1
+        self._record(now, "node_down", event.node_id)
+        assert self._failure_injector is not None
+        self.engine.schedule_in(self._failure_injector.repair_time_s(), NodeRepair(event.node_id))
+        self._request_tick(now)
+        self._maybe_verify()
+
+    def _on_stage_complete(self, now: float, event: StageComplete) -> None:
+        assert self.storage is not None
+        self.storage.end_stage()
+
+    def _on_node_repair(self, now: float, event: NodeRepair) -> None:
+        self.cluster.repair_node(event.node_id)
+        self._record(now, "node_up", event.node_id)
+        assert self._failure_injector is not None
+        node = self.cluster.node(event.node_id)
+        if self._work_remains():
+            self.engine.schedule_in(
+                self._failure_injector.time_to_failure_s(node), NodeFailure(event.node_id)
+            )
+        self._request_tick(now)
+
+    # -- scheduler callbacks -------------------------------------------------------------
+
+    def _start_job(self, now: float, job: Job, placement: dict[NodeId, int]) -> None:
+        if job.state is not JobState.QUEUED:
+            raise SchedulingError(
+                f"scheduler tried to start {job.job_id} in state {job.state.value}"
+            )
+        total = sum(placement.values())
+        floor = job.elastic_min_gpus if job.elastic else job.num_gpus
+        if not floor <= total <= job.num_gpus:
+            raise SchedulingError(
+                f"placement for {job.job_id} provides {total} GPUs, "
+                f"job accepts [{floor}, {job.num_gpus}]"
+            )
+        slowdown = self.exec_model.slowdown(job, placement, self.cluster)
+        provision_s = 0.0
+        if self.config.provisioning:
+            env_key = job.model_name or job.name or job.job_id
+            result = self.runtime_registry.provision(
+                env_key, self.rng, multi_node=len(placement) > 1
+            )
+            provision_s = result.provision_s
+            slowdown *= self.runtime_registry.get(result.runtime).overhead_factor
+            self.metrics.provision_seconds += provision_s
+        if self.storage is not None and job.dataset_gb > 0:
+            dataset_key = f"{job.user_id}:{job.model_name or job.name or job.job_id}"
+            self.storage.begin_stage()
+            stage_s = self.storage.stage(
+                tuple(sorted(placement)), dataset_key, job.dataset_gb
+            )
+            self.engine.schedule_in(stage_s, StageComplete(job.job_id))
+            provision_s += stage_s
+            self.metrics.stage_seconds += stage_s
+
+        request = job.request
+        self.cluster.allocate(
+            job.job_id,
+            placement,
+            cpus_per_gpu=request.cpus_per_gpu,
+            memory_gb_per_gpu=request.memory_gb_per_gpu,
+        )
+        self.scheduler.placement.on_allocate(self.cluster, job.job_id, dict(placement))
+        self.metrics.on_used_changed(now, self.cluster.used_gpus)
+        job.start(
+            now,
+            tuple(sorted(placement)),
+            slowdown,
+            granted_gpus=total,
+            setup_s=provision_s,
+        )
+        self.scheduler.notify_start(job, now)
+        self.running[job.job_id] = job
+
+        outcome: tuple[str, FailureCategory | None] = ("complete", None)
+        wall = job.remaining_work * slowdown
+        plan = job.failure_plan
+        if plan is not None:
+            fail_point = job.duration * plan.at_fraction
+            if job.work_done < fail_point <= job.work_done + job.remaining_work + 1e-9:
+                wall = (fail_point - job.work_done) * slowdown
+                outcome = ("fail", plan.category)
+        if self.config.enforce_walltime:
+            # The wall-time limit covers the whole allocation (provisioning
+            # included), cumulatively across attempts, as in Slurm.
+            cap = (job.walltime_estimate or job.duration) - self._wall_used.get(
+                job.job_id, 0.0
+            )
+            if provision_s + wall > cap + 1e-9:
+                wall = max(0.0, cap - provision_s)
+                outcome = ("walltime", None)
+        self._attempt_outcome[(job.job_id, job.attempts)] = outcome
+        self._record(
+            now, "start", job.job_id, f"gpus={total} nodes={len(placement)}"
+        )
+        self.engine.schedule_in(provision_s + wall, JobFinish(job.job_id, job.attempts))
+
+    def _preempt_job(self, now: float, job: Job) -> None:
+        if job.state is not JobState.RUNNING:
+            raise SchedulingError(
+                f"scheduler tried to preempt {job.job_id} in state {job.state.value}"
+            )
+        if not job.preemptible:
+            raise SchedulingError(f"job {job.job_id} is not preemptible")
+        self._release(job)
+        job.preempt(now, checkpoint_loss=self.config.checkpoint_loss_s)
+        self.metrics.preemptions += 1
+        self._record(now, "preempt", job.job_id)
+        limit = self.config.max_job_preemptions
+        if limit and job.preemptions > limit:
+            job.fail(now, FailureCategory.PREEMPTION_LIMIT)
+            self.scheduler.notify_finish(job, now)
+            return
+        self.scheduler.enqueue(job, now)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _release(self, job: Job) -> None:
+        """Free a running job's resources and metrics-account the change."""
+        if job.last_start_time is not None:
+            self._wall_used[job.job_id] = self._wall_used.get(job.job_id, 0.0) + max(
+                0.0, self.engine.now - job.last_start_time
+            )
+        allocation = self.cluster.free(job.job_id)
+        self.scheduler.placement.on_free(self.cluster, job.job_id, allocation.placement)
+        self.running.pop(job.job_id, None)
+        self._attempt_outcome.pop((job.job_id, job.attempts), None)
+        self.metrics.on_used_changed(self.engine.now, self.cluster.used_gpus)
+
+    def _request_tick(self, now: float) -> None:
+        if not self._tick_pending:
+            self._tick_pending = True
+            self.engine.schedule_at(now, SchedulerTick())
+
+    def _work_remains(self) -> bool:
+        return bool(self.running) or self.scheduler.queue_depth > 0 or any(
+            not job.state.terminal for job in self.jobs.values()
+        )
+
+    def _statically_feasible(self, job: Job) -> bool:
+        """Could this request EVER be satisfied on an empty, healthy cluster?"""
+        from ..sched.placement.base import request_chunks
+
+        chunks = request_chunks(job.request)
+        chunk = chunks[0]
+        request = job.request
+        by_type: dict[str, int] = {}
+        for node in self.cluster.nodes.values():
+            spec = node.spec
+            if request.gpu_type is not None and spec.gpu_type != request.gpu_type:
+                continue
+            if request.allowed_nodes is not None and node.node_id not in request.allowed_nodes:
+                continue
+            if spec.num_gpus < chunk:
+                continue
+            if spec.cpus < request.cpus_per_gpu * chunk:
+                continue
+            if spec.memory_gb < request.memory_gb_per_gpu * chunk:
+                continue
+            by_type[spec.gpu_type] = by_type.get(spec.gpu_type, 0) + 1
+        return any(count >= len(chunks) for count in by_type.values())
+
+    def _maybe_verify(self) -> None:
+        every = self.config.verify_every
+        if every and self.engine.events_processed % every == 0:
+            self.cluster.verify_invariants()
+
+
+def simulate(
+    cluster: Cluster,
+    scheduler: Scheduler,
+    trace: Trace,
+    **kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`ClusterSimulator`."""
+    return ClusterSimulator(cluster, scheduler, trace, **kwargs).run()

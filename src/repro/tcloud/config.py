@@ -1,0 +1,107 @@
+"""tcloud configuration: cluster profiles.
+
+``tcloud`` can target several cluster instances; users switch by changing
+one line — the active profile.  Profiles live in a JSON config file
+(default ``~/.tcloud/config.json``) and carry the connection endpoint plus
+per-profile identity defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigError
+
+DEFAULT_CONFIG_PATH = Path.home() / ".tcloud" / "config.json"
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """One cluster a user can submit to."""
+
+    name: str
+    endpoint: str = "sim://tacc-campus"
+    user: str = "user-00"
+    lab: str = "lab-00"
+    default_partition: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("profile name must be non-empty")
+        if "://" not in self.endpoint:
+            raise ConfigError(
+                f"profile {self.name}: endpoint must look like 'scheme://host', "
+                f"got {self.endpoint!r}"
+            )
+
+    @property
+    def scheme(self) -> str:
+        return self.endpoint.split("://", 1)[0]
+
+
+@dataclass
+class TcloudConfig:
+    """The user's full tcloud configuration."""
+
+    profiles: dict[str, ClusterProfile] = field(default_factory=dict)
+    active: str | None = None
+
+    def add(self, profile: ClusterProfile, activate: bool = False) -> None:
+        self.profiles[profile.name] = profile
+        if activate or self.active is None:
+            self.active = profile.name
+
+    def get(self, name: str | None = None) -> ClusterProfile:
+        """The named profile, or the active one when *name* is None."""
+        key = name or self.active
+        if key is None:
+            raise ConfigError("no active tcloud profile; add one with 'tcloud profiles add'")
+        try:
+            return self.profiles[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown profile {key!r}; known: {sorted(self.profiles)}"
+            ) from None
+
+    def switch(self, name: str) -> None:
+        self.get(name)  # validate
+        self.active = name
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path = DEFAULT_CONFIG_PATH) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "active": self.active,
+            "profiles": {name: asdict(profile) for name, profile in self.profiles.items()},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path = DEFAULT_CONFIG_PATH) -> "TcloudConfig":
+        path = Path(path)
+        if not path.exists():
+            return cls.default()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"tcloud config {path} is not valid JSON: {exc}") from exc
+        config = cls()
+        for name, raw in payload.get("profiles", {}).items():
+            config.profiles[name] = ClusterProfile(**raw)
+        config.active = payload.get("active")
+        if config.active is not None and config.active not in config.profiles:
+            raise ConfigError(
+                f"tcloud config {path}: active profile {config.active!r} is not defined"
+            )
+        return config
+
+    @classmethod
+    def default(cls) -> "TcloudConfig":
+        """The out-of-the-box config: one simulated campus cluster."""
+        config = cls()
+        config.add(ClusterProfile(name="campus"), activate=True)
+        return config

@@ -1,0 +1,387 @@
+"""Job model and lifecycle state machine.
+
+A :class:`Job` is the unit the scheduler reasons about: a resource request
+plus service-time semantics.  ``duration`` is the job's *work* — the wall
+time it needs on its requested GPUs at reference speed under ideal placement.
+The execution layer stretches that by a slowdown factor for slower GPU types
+or spread-out placements, and preemption checkpoints the remaining work, so
+a job's lifetime can span several run attempts.
+
+State machine (enforced by the transition methods)::
+
+    QUEUED ──start──▶ RUNNING ──complete──▶ COMPLETED
+      ▲                  │ │ \──fail──▶ FAILED
+      └────requeue───────┘ └──kill──▶ KILLED
+           (preempt / node failure)
+
+Terminal states are COMPLETED, FAILED and KILLED.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import JobStateError, ValidationError
+from ..ids import JobId, LabId, UserId
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    KILLED = "killed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.KILLED)
+
+
+class JobTier(enum.Enum):
+    """Access tiers of the campus cluster's quota model.
+
+    GUARANTEED jobs draw on a lab's paid/granted quota and may preempt;
+    OPPORTUNISTIC jobs run free-of-charge on idle GPUs and absorb
+    preemptions.
+    """
+
+    GUARANTEED = "guaranteed"
+    OPPORTUNISTIC = "opportunistic"
+
+
+class FailureCategory(enum.Enum):
+    """Taxonomy used by the operational failure analysis (T3)."""
+
+    USER_ERROR = "user_error"  # bad code/config; fails early
+    OOM = "oom"  # GPU memory exhaustion; fails mid-run
+    HARDWARE = "hardware"  # node/GPU fault; externally injected
+    PREEMPTION_LIMIT = "preemption_limit"  # too many preemptions
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """What a job asks for.
+
+    Attributes:
+        num_gpus: Total GPUs across all nodes.
+        gpus_per_node: Max GPUs taken from one node; ``None`` lets the
+            placement policy pack up to full nodes.  Multi-node jobs are
+            gang-scheduled: all GPUs start together or not at all.
+        gpu_type: Required GPU catalogue key, or ``None`` for any type.
+        cpus_per_gpu: Host cores pinned per GPU.
+        memory_gb_per_gpu: Host memory per GPU.
+        allowed_nodes: Placement restricted to these nodes (``None`` = any).
+            Set by the simulator when the job routes through a partition;
+            not a user-facing field and not serialised with traces.
+    """
+
+    num_gpus: int
+    gpus_per_node: int | None = None
+    gpu_type: str | None = None
+    cpus_per_gpu: int = 4
+    memory_gb_per_gpu: float = 32.0
+    allowed_nodes: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValidationError(f"num_gpus must be positive, got {self.num_gpus}")
+        if self.gpus_per_node is not None:
+            if self.gpus_per_node <= 0:
+                raise ValidationError("gpus_per_node must be positive")
+            if self.num_gpus % self.gpus_per_node and self.num_gpus > self.gpus_per_node:
+                raise ValidationError(
+                    f"num_gpus={self.num_gpus} is not a multiple of "
+                    f"gpus_per_node={self.gpus_per_node}"
+                )
+        if self.cpus_per_gpu < 0 or self.memory_gb_per_gpu < 0:
+            raise ValidationError("per-GPU CPU/memory requests must be non-negative")
+
+    @property
+    def num_nodes_min(self) -> int:
+        """Minimum node count implied by the per-node cap (1 when uncapped)."""
+        if self.gpus_per_node is None:
+            return 1
+        return -(-self.num_gpus // self.gpus_per_node)
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Intrinsic failure scripted into a trace job (user error, OOM).
+
+    The job fails after completing ``at_fraction`` of its work on the
+    attempt that crosses that point.
+    """
+
+    category: FailureCategory
+    at_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.at_fraction <= 1.0:
+            raise ValidationError("FailurePlan.at_fraction must be in (0, 1]")
+
+
+@dataclass
+class Job:
+    """One schedulable job with live lifecycle state.
+
+    Static trace fields come first; fields below the comment are runtime
+    state mutated only through the transition methods.
+    """
+
+    job_id: JobId
+    user_id: UserId
+    lab_id: LabId
+    request: ResourceRequest
+    submit_time: float
+    duration: float  # reference service time, seconds
+    tier: JobTier = JobTier.GUARANTEED
+    partition: str | None = None
+    walltime_estimate: float | None = None  # user's estimate, seconds
+    interactive: bool = False
+    preemptible: bool | None = None  # default: tier-derived
+    failure_plan: FailurePlan | None = None
+    name: str = ""
+    model_name: str = ""  # key into repro.workload.models.MODEL_CATALOG
+    #: Elastic jobs may run on as few as this many GPUs (None = rigid).
+    #: ``duration`` remains the service time at the FULL request; running
+    #: narrower stretches wall time via the execution model.
+    elastic_min_gpus: int | None = None
+    #: Input dataset staged from the shared filesystem before the job runs
+    #: (0 = none); drives the storage-staging model.
+    dataset_gb: float = 0.0
+
+    # -- runtime state (managed by transition methods) --
+    state: JobState = JobState.QUEUED
+    remaining_work: float = field(init=False)
+    attempts: int = 0
+    preemptions: int = 0
+    first_start_time: float | None = None
+    last_start_time: float | None = None
+    end_time: float | None = None
+    current_slowdown: float = 1.0
+    current_nodes: tuple[str, ...] = ()
+    last_nodes: tuple[str, ...] = ()  # nodes of the most recent attempt
+    current_gpus: int = 0  # GPUs of the live attempt (elastic jobs may vary)
+    current_setup_s: float = 0.0  # provisioning/staging head of the attempt
+    gpu_seconds_used: float = 0.0
+    failure_category: FailureCategory | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValidationError(f"job {self.job_id}: duration must be positive")
+        if self.submit_time < 0:
+            raise ValidationError(f"job {self.job_id}: submit_time must be >= 0")
+        if self.walltime_estimate is None:
+            self.walltime_estimate = self.duration
+        if self.preemptible is None:
+            self.preemptible = self.tier is JobTier.OPPORTUNISTIC
+        if self.elastic_min_gpus is not None and not (
+            1 <= self.elastic_min_gpus <= self.request.num_gpus
+        ):
+            raise ValidationError(
+                f"job {self.job_id}: elastic_min_gpus must be in "
+                f"[1, {self.request.num_gpus}], got {self.elastic_min_gpus}"
+            )
+        if self.dataset_gb < 0:
+            raise ValidationError(f"job {self.job_id}: dataset_gb must be >= 0")
+        self.remaining_work = self.duration
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def num_gpus(self) -> int:
+        return self.request.num_gpus
+
+    @property
+    def elastic(self) -> bool:
+        return self.elastic_min_gpus is not None
+
+    @property
+    def work_done(self) -> float:
+        return self.duration - self.remaining_work
+
+    @property
+    def wait_time(self) -> float | None:
+        """Queueing delay: submission → first start (None if never started)."""
+        if self.first_start_time is None:
+            return None
+        return self.first_start_time - self.submit_time
+
+    @property
+    def jct(self) -> float | None:
+        """Job completion time: submission → terminal (None while live)."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+    @property
+    def finished(self) -> bool:
+        return self.state.terminal
+
+    def expected_runtime(self, slowdown: float = 1.0) -> float:
+        """Wall time to finish remaining work at the given slowdown."""
+        return self.remaining_work * slowdown
+
+    def remaining_work_at(self, now: float) -> float:
+        """True remaining work including live progress (oracle view).
+
+        ``remaining_work`` is only checkpointed at segment boundaries;
+        this extrapolates through the current running segment.
+        """
+        if self.state is JobState.RUNNING and self.last_start_time is not None:
+            elapsed = max(0.0, now - self.last_start_time - self.current_setup_s)
+            return max(0.0, self.remaining_work - elapsed / self.current_slowdown)
+        return self.remaining_work
+
+    def estimated_remaining(self, now: float) -> float:
+        """Scheduler-visible remaining time based on the *user estimate*.
+
+        Backfill reservations use this, never the true duration — mirroring
+        real systems where the scheduler only sees wall-time limits.
+        """
+        if self.state is JobState.RUNNING and self.last_start_time is not None:
+            elapsed = now - self.last_start_time
+            return max(0.0, self.walltime_estimate - elapsed)
+        return self.walltime_estimate or 0.0
+
+    # -- transitions ---------------------------------------------------------
+
+    def _require_state(self, expected: JobState, action: str) -> None:
+        if self.state is not expected:
+            raise JobStateError(
+                f"cannot {action} job {self.job_id}: state is "
+                f"{self.state.value}, expected {expected.value}"
+            )
+
+    def start(
+        self,
+        now: float,
+        nodes: tuple[str, ...],
+        slowdown: float = 1.0,
+        granted_gpus: int | None = None,
+        setup_s: float = 0.0,
+    ) -> None:
+        """QUEUED → RUNNING on the given nodes at the given slowdown.
+
+        ``granted_gpus`` defaults to the full request; elastic jobs may be
+        granted anywhere in ``[elastic_min_gpus, num_gpus]``.  ``setup_s``
+        is the provisioning/staging head of this attempt: resources are
+        held (GPU-seconds accrue) but no *work* progresses during it.
+        """
+        self._require_state(JobState.QUEUED, "start")
+        if slowdown <= 0:
+            raise ValidationError(f"slowdown must be positive, got {slowdown}")
+        if now < self.submit_time:
+            raise JobStateError(
+                f"job {self.job_id} started at {now} before submission "
+                f"at {self.submit_time}"
+            )
+        granted = self.num_gpus if granted_gpus is None else granted_gpus
+        floor = self.elastic_min_gpus if self.elastic else self.num_gpus
+        if not floor <= granted <= self.num_gpus:
+            raise JobStateError(
+                f"job {self.job_id} granted {granted} GPUs outside "
+                f"[{floor}, {self.num_gpus}]"
+            )
+        self.state = JobState.RUNNING
+        self.attempts += 1
+        self.last_start_time = now
+        if self.first_start_time is None:
+            self.first_start_time = now
+        if setup_s < 0:
+            raise ValidationError(f"setup_s must be non-negative, got {setup_s}")
+        self.current_slowdown = slowdown
+        self.current_nodes = nodes
+        self.last_nodes = nodes
+        self.current_gpus = granted
+        self.current_setup_s = setup_s
+
+    def _accrue(self, now: float) -> None:
+        """Book the work done in the current run segment."""
+        assert self.last_start_time is not None
+        elapsed = now - self.last_start_time
+        if elapsed < -1e-9:
+            raise JobStateError(
+                f"job {self.job_id}: segment end {now} precedes start "
+                f"{self.last_start_time}"
+            )
+        productive = max(0.0, elapsed - self.current_setup_s)
+        work = min(self.remaining_work, productive / self.current_slowdown)
+        self.remaining_work -= work
+        self.gpu_seconds_used += max(0.0, elapsed) * (self.current_gpus or self.num_gpus)
+
+    def preempt(self, now: float, checkpoint_loss: float = 0.0) -> None:
+        """RUNNING → QUEUED, checkpointing progress.
+
+        ``checkpoint_loss`` seconds of completed work are lost (re-done on
+        the next attempt), modelling checkpoint granularity.
+        """
+        self._require_state(JobState.RUNNING, "preempt")
+        self._accrue(now)
+        self.remaining_work = min(self.duration, self.remaining_work + checkpoint_loss)
+        self.preemptions += 1
+        self.state = JobState.QUEUED
+        self.current_nodes = ()
+        self.current_gpus = 0
+
+    def requeue(self, now: float, work_lost: bool = True) -> None:
+        """RUNNING → QUEUED after an external kill (e.g. node failure).
+
+        Unlike :meth:`preempt` there is no graceful checkpoint: when
+        ``work_lost`` the whole current attempt's progress is discarded.
+        """
+        self._require_state(JobState.RUNNING, "requeue")
+        if work_lost:
+            assert self.last_start_time is not None
+            elapsed = max(0.0, now - self.last_start_time)
+            self.gpu_seconds_used += elapsed * (self.current_gpus or self.num_gpus)
+        else:
+            self._accrue(now)
+        self.state = JobState.QUEUED
+        self.current_nodes = ()
+        self.current_gpus = 0
+
+    def complete(self, now: float) -> None:
+        """RUNNING → COMPLETED; remaining work must be exhausted."""
+        self._require_state(JobState.RUNNING, "complete")
+        self._accrue(now)
+        if self.remaining_work > 1e-6:
+            raise JobStateError(
+                f"job {self.job_id} completed with {self.remaining_work:.3f}s "
+                "of work remaining"
+            )
+        self.remaining_work = 0.0
+        self.state = JobState.COMPLETED
+        self.end_time = now
+        self.current_nodes = ()
+        self.current_gpus = 0
+
+    def fail(self, now: float, category: FailureCategory) -> None:
+        """RUNNING/QUEUED → FAILED with a taxonomy category.
+
+        Failing from QUEUED covers administrative failures decided off the
+        node, e.g. exceeding the preemption limit right after an eviction.
+        """
+        if self.state is JobState.RUNNING:
+            self._accrue(now)
+        elif self.state is not JobState.QUEUED:
+            raise JobStateError(
+                f"cannot fail job {self.job_id}: state is {self.state.value}"
+            )
+        self.state = JobState.FAILED
+        self.failure_category = category
+        self.end_time = now
+        self.current_nodes = ()
+        self.current_gpus = 0
+
+    def kill(self, now: float) -> None:
+        """QUEUED/RUNNING → KILLED (user cancellation)."""
+        if self.state.terminal:
+            raise JobStateError(f"cannot kill job {self.job_id}: already {self.state.value}")
+        if self.state is JobState.RUNNING:
+            self._accrue(now)
+        self.state = JobState.KILLED
+        self.end_time = now
+        self.current_nodes = ()
+        self.current_gpus = 0

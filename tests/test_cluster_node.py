@@ -1,0 +1,205 @@
+"""Tests for GPU catalogue and node allocation bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.gpu import GPU_CATALOG, GPUSpec, get_gpu_spec, register_gpu_spec
+from repro.cluster.node import Node, NodeSpec
+from repro.errors import AllocationError, CapacityError, ConfigError, UnknownJobError
+
+
+class TestGpuCatalog:
+    def test_known_types_present(self):
+        for name in ("v100", "a100-40", "a100-80", "rtx3090", "rtx2080ti", "t4", "p100"):
+            assert get_gpu_spec(name).name == name
+
+    def test_unknown_type_lists_known(self):
+        with pytest.raises(ConfigError, match="known types"):
+            get_gpu_spec("h100")
+
+    def test_relative_speed_anchored_to_v100(self):
+        assert get_gpu_spec("v100").relative_speed == pytest.approx(1.0)
+        assert get_gpu_spec("a100-80").relative_speed > 1.0
+        assert get_gpu_spec("p100").relative_speed < 1.0
+
+    def test_consumer_flag(self):
+        assert not get_gpu_spec("rtx3090").datacenter_grade
+        assert get_gpu_spec("a100-80").datacenter_grade
+
+    def test_register_idempotent_for_equal_spec(self):
+        spec = GPU_CATALOG["v100"]
+        register_gpu_spec(spec)  # no error
+
+    def test_register_conflicting_spec_rejected(self):
+        clash = GPUSpec("v100", "Fake V100", 1, 1.0, 1.0, 1.0, True)
+        with pytest.raises(ConfigError, match="different spec"):
+            register_gpu_spec(clash)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUSpec("bad", "Bad", 0, 1.0, 1.0, 1.0, True)
+        with pytest.raises(ConfigError, match="tensor_tflops"):
+            GPUSpec("bad", "Bad", 16, 10.0, 5.0, 1.0, True)
+
+
+def fresh_node(num_gpus=8, cpus=64, memory_gb=512.0):
+    return Node(
+        node_id="n0",
+        spec=NodeSpec("v100", num_gpus, cpus, memory_gb),
+        rack_id="rack-01",
+    )
+
+
+class TestNodeSpec:
+    def test_validates_gpu_type(self):
+        with pytest.raises(ConfigError):
+            NodeSpec("nope", 8, 64, 512)
+
+    @pytest.mark.parametrize("field,value", [("num_gpus", 0), ("cpus", 0), ("memory_gb", 0), ("nic_gbps", 0)])
+    def test_positive_fields(self, field, value):
+        kwargs = {"gpu_type": "v100", "num_gpus": 8, "cpus": 64, "memory_gb": 512.0}
+        kwargs[field] = value
+        with pytest.raises(ConfigError):
+            NodeSpec(**kwargs)
+
+
+class TestNodeAllocation:
+    def test_fresh_node_fully_free(self):
+        node = fresh_node()
+        assert node.free_gpus == 8
+        assert node.free_cpus == 64
+        assert node.idle
+
+    def test_allocate_reserves_lowest_indices(self):
+        node = fresh_node()
+        alloc = node.allocate("j1", gpus=3, cpus=6, memory_gb=96)
+        assert alloc.gpu_indices == (0, 1, 2)
+        assert node.free_gpus == 5
+        assert node.free_cpus == 58
+        assert node.free_memory_gb == pytest.approx(416)
+
+    def test_free_restores_everything(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=4, cpus=8, memory_gb=128)
+        released = node.free("j1")
+        assert released.num_gpus == 4
+        assert node.free_gpus == 8
+        assert node.free_cpus == 64
+        assert node.idle
+
+    def test_indices_reused_deterministically(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=2)
+        node.allocate("j2", gpus=2)
+        node.free("j1")
+        alloc = node.allocate("j3", gpus=2)
+        assert alloc.gpu_indices == (0, 1)
+
+    def test_double_allocation_same_job_rejected(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=1)
+        with pytest.raises(AllocationError, match="already holds"):
+            node.allocate("j1", gpus=1)
+
+    def test_over_capacity_raises_capacity_error(self):
+        node = fresh_node()
+        with pytest.raises(CapacityError):
+            node.allocate("j1", gpus=9)
+
+    def test_insufficient_free_raises_allocation_error(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=6)
+        with pytest.raises(AllocationError, match="cannot fit"):
+            node.allocate("j2", gpus=4)
+
+    def test_negative_and_empty_requests_rejected(self):
+        node = fresh_node()
+        with pytest.raises(AllocationError):
+            node.allocate("j1", gpus=-1)
+        with pytest.raises(AllocationError, match="empty request"):
+            node.allocate("j1", gpus=0, cpus=0, memory_gb=0)
+
+    def test_cpu_only_allocation_allowed(self):
+        node = fresh_node()
+        alloc = node.allocate("svc", gpus=0, cpus=4, memory_gb=16)
+        assert alloc.num_gpus == 0
+        assert node.free_cpus == 60
+
+    def test_free_unknown_job(self):
+        with pytest.raises(UnknownJobError):
+            fresh_node().free("ghost")
+
+    def test_can_fit_checks_all_dimensions(self):
+        node = fresh_node()
+        assert node.can_fit(8, 64, 512)
+        assert not node.can_fit(8, 65, 512)
+        assert not node.can_fit(8, 64, 513)
+
+    def test_holds_job_and_jobs_view(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=1)
+        assert node.holds_job("j1")
+        assert node.jobs == ("j1",)
+
+
+class TestNodeFailure:
+    def test_fail_returns_victims_and_blocks_new_allocations(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=2)
+        victims = node.fail()
+        assert victims == ("j1",)
+        assert not node.healthy
+        with pytest.raises(AllocationError, match="unhealthy"):
+            node.allocate("j2", gpus=1)
+
+    def test_free_works_on_failed_node(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=2)
+        node.fail()
+        node.free("j1")
+        assert node.free_gpus == 8
+
+    def test_repair_requires_empty_books(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=1)
+        node.fail()
+        with pytest.raises(AllocationError, match="cannot repair"):
+            node.repair()
+        node.free("j1")
+        node.repair()
+        assert node.healthy
+
+
+class TestNodeInvariants:
+    def test_verify_passes_normally(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=3, cpus=3, memory_gb=3)
+        node.verify_invariants()
+
+    def test_verify_detects_corruption(self):
+        node = fresh_node()
+        node.allocate("j1", gpus=3)
+        node._free_gpu_indices.add(0)  # corrupt the books deliberately
+        with pytest.raises(AllocationError):
+            node.verify_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 4)), min_size=1, max_size=40))
+    def test_random_alloc_free_sequences_preserve_books(self, operations):
+        node = fresh_node()
+        live: list[str] = []
+        counter = 0
+        for do_alloc, gpus in operations:
+            if do_alloc and node.free_gpus >= gpus:
+                counter += 1
+                name = f"j{counter}"
+                node.allocate(name, gpus=gpus, cpus=gpus, memory_gb=float(gpus))
+                live.append(name)
+            elif live:
+                node.free(live.pop(0))
+            node.verify_invariants()
+        used = sum(node.allocation_for(j).num_gpus for j in live)
+        assert used + node.free_gpus == node.spec.num_gpus

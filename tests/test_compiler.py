@@ -1,0 +1,246 @@
+"""Tests for the compiler layer: chunk cache, instructions, compilation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    ChunkStore,
+    NodeLaunch,
+    TaskCompiler,
+    TaskInstruction,
+    chunk_bytes,
+    chunk_id,
+)
+from repro.errors import CacheError, CompileError
+from repro.schema import EnvironmentSpec, FileSpec, ResourceSpec, TaskSpec
+
+
+class TestChunking:
+    def test_chunk_sizes(self):
+        chunks = list(chunk_bytes(b"x" * 10, chunk_size=4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_empty_data_single_empty_chunk(self):
+        assert list(chunk_bytes(b"")) == [b""]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(CacheError):
+            list(chunk_bytes(b"x", chunk_size=0))
+
+    def test_chunk_id_is_sha256(self):
+        import hashlib
+
+        assert chunk_id(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+class TestChunkStore:
+    def test_first_upload_moves_everything(self):
+        store = ChunkStore(chunk_size=4)
+        _manifest, report = store.upload({"a.py": b"12345678"})
+        assert report.uploaded_bytes == 8
+        assert report.uploaded_chunks == 2
+        assert report.hit_rate == 0.0
+
+    def test_identical_resubmission_moves_nothing(self):
+        store = ChunkStore(chunk_size=4)
+        workspace = {"a.py": b"12345678"}
+        store.upload(workspace)
+        _manifest, report = store.upload(workspace)
+        assert report.uploaded_bytes == 0
+        assert report.hit_rate == 1.0
+        assert report.dedup_factor == float("inf")
+
+    def test_small_edit_uploads_only_dirty_chunk(self):
+        store = ChunkStore(chunk_size=4)
+        store.upload({"a.py": b"AAAABBBBCCCC"})
+        _manifest, report = store.upload({"a.py": b"AAAABXBBCCCC"[:12]})
+        assert report.uploaded_chunks == 1  # only the B-chunk changed
+        assert report.uploaded_bytes == 4
+
+    def test_cross_file_dedup(self):
+        store = ChunkStore(chunk_size=4)
+        store.upload({"a.bin": b"SAME" * 4})
+        _manifest, report = store.upload({"b.bin": b"SAME" * 4})
+        assert report.uploaded_bytes == 0  # same content, different path
+
+    def test_materialize_roundtrip(self):
+        store = ChunkStore(chunk_size=3)
+        workspace = {"a.py": b"hello world", "b.bin": b"", "c": b"xy"}
+        manifest, _report = store.upload(workspace)
+        assert store.materialize(manifest) == workspace
+
+    def test_materialize_missing_chunk_raises(self):
+        store = ChunkStore(chunk_size=4)
+        manifest, _report = store.upload({"a.py": b"12345678"})
+        store._chunks.clear()
+        with pytest.raises(CacheError, match="missing"):
+            store.materialize(manifest)
+
+    def test_gc_frees_dead_chunks(self):
+        store = ChunkStore(chunk_size=4)
+        manifest_a, _r = store.upload({"a": b"AAAA"})
+        store.upload({"b": b"BBBB"})
+        freed = store.gc([manifest_a])
+        assert freed == 4
+        assert store.materialize(manifest_a) == {"a": b"AAAA"}
+
+    def test_stats(self):
+        store = ChunkStore(chunk_size=4)
+        store.upload({"a": b"AAAABBBB"})
+        assert len(store) == 2
+        assert store.stored_bytes == 8
+        assert store.uploads == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=6),
+            st.binary(max_size=200),
+            max_size=5,
+        )
+    )
+    def test_any_workspace_roundtrips(self, workspace):
+        store = ChunkStore(chunk_size=16)
+        manifest, report = store.upload(workspace)
+        assert store.materialize(manifest) == workspace
+        assert report.total_bytes == sum(len(v) for v in workspace.values())
+
+
+class TestInstruction:
+    def test_rank_validation(self):
+        with pytest.raises(CompileError):
+            NodeLaunch(rank=2, nnodes=2, command="x")
+
+    def test_inconsistent_launches_rejected(self):
+        store = ChunkStore()
+        manifest, _r = store.upload({"a": b"x"})
+        with pytest.raises(CompileError, match="inconsistent"):
+            TaskInstruction(
+                task_name="t",
+                fingerprint="f" * 64,
+                env_fingerprint="e" * 64,
+                runtime="bare",
+                setup_commands=(),
+                launches=(NodeLaunch(0, 2, "x"), NodeLaunch(0, 2, "y")),
+                manifest=manifest,
+            )
+
+    def test_render_script_contains_pieces(self):
+        store = ChunkStore()
+        manifest, _r = store.upload({"a": b"x"})
+        instruction = TaskInstruction(
+            task_name="t",
+            fingerprint="f" * 64,
+            env_fingerprint="e" * 64,
+            runtime="bare",
+            setup_commands=("setup-step",),
+            launches=(NodeLaunch(0, 1, "python train.py"),),
+            manifest=manifest,
+            env_vars={"TACC_TASK": "t"},
+        )
+        script = instruction.render_script()
+        assert "setup-step" in script
+        assert "python train.py" in script
+        assert "export TACC_TASK" in script
+        with pytest.raises(CompileError, match="no launch"):
+            instruction.render_script(rank=5)
+
+
+def build_spec(**kwargs):
+    code = FileSpec.of_bytes("train.py", b"print('hi')\n" * 10)
+    defaults = dict(
+        name="demo",
+        entrypoint="python train.py",
+        code_files=(code,),
+        resources=ResourceSpec(num_gpus=1),
+    )
+    defaults.update(kwargs)
+    return TaskSpec(**defaults)
+
+
+def workspace_for(spec):
+    from repro.tcloud.frontend import synthesize_workspace
+
+    return synthesize_workspace(spec)
+
+
+class TestCompiler:
+    def test_basic_compile(self):
+        compiler = TaskCompiler()
+        spec = build_spec()
+        result = compiler.compile(spec, workspace_for(spec))
+        instruction = result.instruction
+        assert instruction.runtime == "bare"
+        assert instruction.nnodes == 1
+        assert instruction.fingerprint == spec.fingerprint()
+        assert result.upload.uploaded_bytes > 0
+
+    def test_deterministic_output(self):
+        spec = build_spec()
+        a = TaskCompiler().compile(spec, workspace_for(spec)).instruction
+        b = TaskCompiler().compile(spec, workspace_for(spec)).instruction
+        assert a == b
+
+    def test_runtime_choice_rules(self):
+        compiler = TaskCompiler()
+        assert compiler.choose_runtime(build_spec()) == "bare"
+        assert (
+            compiler.choose_runtime(
+                build_spec(environment=EnvironmentSpec(image="pytorch:2.1"))
+            )
+            == "container"
+        )
+        many = tuple(f"pkg{i}==1.0" for i in range(20))
+        assert (
+            compiler.choose_runtime(build_spec(environment=EnvironmentSpec(pip_packages=many)))
+            == "container"
+        )
+        assert compiler.choose_runtime(build_spec(runtime="ray")) == "ray"
+
+    def test_multi_node_launches_torchrun_style(self):
+        spec = build_spec(resources=ResourceSpec(num_gpus=16, gpus_per_node=8))
+        result = TaskCompiler().compile(spec, workspace_for(spec))
+        launches = result.instruction.launches
+        assert len(launches) == 2
+        assert "--node-rank 1" in launches[1].command
+        assert "tacc-launch" in launches[0].command
+
+    def test_entrypoint_placeholders_filled(self):
+        spec = build_spec(
+            entrypoint="python train.py --rank {rank} --world {nnodes}",
+            resources=ResourceSpec(num_gpus=16, gpus_per_node=8),
+        )
+        result = TaskCompiler().compile(spec, workspace_for(spec))
+        assert "--rank 1 --world 2" in result.instruction.launches[1].command
+
+    def test_workspace_mismatch_detected(self):
+        compiler = TaskCompiler()
+        spec = build_spec()
+        with pytest.raises(CompileError, match="missing declared"):
+            compiler.compile(spec, {})
+        workspace = workspace_for(spec)
+        workspace["extra.py"] = b"x"
+        with pytest.raises(CompileError, match="undeclared"):
+            compiler.compile(spec, workspace)
+        workspace = workspace_for(spec)
+        workspace["train.py"] = b"wrong size"
+        with pytest.raises(CompileError, match="bytes"):
+            compiler.compile(spec, workspace)
+
+    def test_dataset_mounts_in_setup(self):
+        dataset = FileSpec(path="data/set.bin", size_bytes=100, sha256="b" * 64)
+        spec = build_spec(datasets=(dataset,))
+        result = TaskCompiler().compile(spec, workspace_for(spec))
+        assert any("tacc-data mount" in cmd for cmd in result.instruction.setup_commands)
+
+    def test_resubmission_dedups_through_shared_store(self):
+        store = ChunkStore()
+        compiler = TaskCompiler(store)
+        spec = build_spec()
+        first = compiler.compile(spec, workspace_for(spec))
+        second = compiler.compile(spec, workspace_for(spec))
+        assert first.upload.uploaded_bytes > 0
+        assert second.upload.uploaded_bytes == 0

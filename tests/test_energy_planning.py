@@ -1,0 +1,140 @@
+"""Tests for energy accounting and capacity planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    NodeGroup,
+    NodeSpec,
+    tacc_cluster_spec,
+    uniform_cluster,
+)
+from repro.errors import ConfigError, ValidationError
+from repro.execlayer import UnitExecutionModel
+from repro.ops import EnergyConfig, ExpansionOption, energy_report, plan_capacity
+from repro.sched import GreedyFifoScheduler
+from repro.sim import ClusterSimulator, SimConfig
+from repro.workload import Trace, tacc_campus, with_load
+from tests.conftest import make_job
+
+
+def run_simple(jobs, num_nodes=1):
+    cluster = uniform_cluster(num_nodes, gpus_per_node=8)
+    result = ClusterSimulator(
+        cluster,
+        GreedyFifoScheduler(),
+        Trace(list(jobs)),
+        exec_model=UnitExecutionModel(),
+        config=SimConfig(sample_interval_s=0.0),
+    ).run()
+    return result, cluster
+
+
+class TestEnergyConfig:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            EnergyConfig(pue=0.9)
+        with pytest.raises(ValidationError):
+            EnergyConfig(load_factor=0.0)
+
+
+class TestEnergyReport:
+    def test_single_job_arithmetic(self):
+        # 4 GPUs × 3600 s on V100s: busy 4 GPU-h, idle 4 GPU-h (8-GPU node,
+        # 1 h horizon).
+        job = make_job("a", num_gpus=4, duration=3600.0)
+        result, cluster = run_simple([job])
+        config = EnergyConfig(pue=1.0, load_factor=1.0, price_per_kwh=0.10)
+        report = energy_report(result, cluster, config)
+        assert report.horizon_hours == pytest.approx(1.0)
+        assert report.busy_gpu_hours_by_type == {"v100": pytest.approx(4.0)}
+        assert report.idle_gpu_hours_by_type["v100"] == pytest.approx(4.0)
+        # busy: 4 h × 300 W = 1.2 kWh; idle: 4 h × 55 W = 0.22 kWh.
+        assert report.busy_kwh == pytest.approx(1.2)
+        assert report.idle_kwh == pytest.approx(0.22)
+        assert report.total_kwh == pytest.approx(1.42)
+        assert report.cost == pytest.approx(0.142)
+        assert report.useful_fraction == pytest.approx(1.0)
+
+    def test_pue_scales_total(self):
+        job = make_job("a", num_gpus=8, duration=3600.0)
+        result, cluster = run_simple([job])
+        base = energy_report(result, cluster, EnergyConfig(pue=1.0))
+        scaled = energy_report(result, cluster, EnergyConfig(pue=2.0))
+        assert scaled.total_kwh == pytest.approx(2 * base.total_kwh)
+
+    def test_failed_work_is_not_useful(self):
+        from repro.workload import FailureCategory, FailurePlan
+
+        job = make_job(
+            "a",
+            num_gpus=8,
+            duration=3600.0,
+            failure_plan=FailurePlan(FailureCategory.OOM, 0.5),
+        )
+        result, cluster = run_simple([job])
+        report = energy_report(result, cluster, EnergyConfig(pue=1.0))
+        assert report.useful_fraction == 0.0
+        assert report.busy_gpu_hours_by_type["v100"] == pytest.approx(4.0)
+
+    def test_rows_cover_idle_only_types(self, hetero_cluster):
+        job = make_job("a", num_gpus=8, duration=3600.0, gpu_type="a100-80")
+        result = ClusterSimulator(
+            hetero_cluster,
+            GreedyFifoScheduler(),
+            Trace([job]),
+            exec_model=UnitExecutionModel(),
+            config=SimConfig(sample_interval_s=0.0),
+        ).run()
+        report = energy_report(result, hetero_cluster)
+        types = {row["gpu_type"] for row in report.as_rows()}
+        assert {"a100-80", "rtx3090", "TOTAL"} <= types
+
+
+class TestCapacityPlanning:
+    def small_spec(self):
+        return ClusterSpec(
+            name="small",
+            groups=(NodeGroup(2, NodeSpec("v100", 8, 96, 768), nodes_per_rack=2),),
+        )
+
+    def test_status_quo_always_first(self):
+        workload = with_load(tacc_campus(days=0.5), 16, 0.8, seed=0)
+        rows = plan_capacity(self.small_spec(), workload, [], seed=0)
+        assert len(rows) == 1
+        assert rows[0]["option"] == "status-quo"
+        assert rows[0]["gpus"] == 16
+
+    def test_expansion_reduces_wait_under_overload(self):
+        workload = with_load(tacc_campus(days=1.0), 16, 1.6, seed=2)
+        option = ExpansionOption(
+            "double-v100", (NodeGroup(2, NodeSpec("v100", 8, 96, 768), nodes_per_rack=2),)
+        )
+        rows = plan_capacity(self.small_spec(), workload, [option], seed=2)
+        by_name = {row["option"]: row for row in rows}
+        assert by_name["double-v100"]["gpus"] == 32
+        assert by_name["double-v100"]["added_gpus"] == 16
+        assert by_name["double-v100"]["avg_wait_h"] <= by_name["status-quo"]["avg_wait_h"]
+
+    def test_rows_comparable_same_workload(self):
+        workload = with_load(tacc_campus(days=0.5), 16, 1.0, seed=3)
+        option = ExpansionOption(
+            "add-a100", (NodeGroup(1, NodeSpec("a100-80", 8, 128, 1024), nodes_per_rack=1),)
+        )
+        rows = plan_capacity(self.small_spec(), workload, [option], seed=3)
+        # Hardware-only change: same jobs in every row.
+        assert all("avg_jct_h" in row and "energy_mwh" in row for row in rows)
+
+    def test_option_validation(self):
+        with pytest.raises(ConfigError):
+            ExpansionOption("", ())
+
+    def test_tacc_spec_accepts_expansion(self):
+        workload = with_load(tacc_campus(days=0.3), 176, 0.5, seed=1)
+        option = ExpansionOption(
+            "pilot", (NodeGroup(1, NodeSpec("a100-80", 8, 128, 1024), nodes_per_rack=1),)
+        )
+        rows = plan_capacity(tacc_cluster_spec(), workload, [option], seed=1)
+        assert rows[1]["gpus"] == 184

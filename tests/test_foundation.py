@@ -1,0 +1,151 @@
+"""Tests for ids, config utilities, and the error hierarchy."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+    save_config,
+)
+from repro.errors import ConfigError, ReproError
+from repro.ids import IdFactory, id_index, job_id, node_id
+
+
+class TestIdFactory:
+    def test_sequential_ids(self):
+        factory = IdFactory("job")
+        assert factory.next() == "job-000000"
+        assert factory.next() == "job-000001"
+
+    def test_custom_width_and_start(self):
+        factory = IdFactory("n", width=3, start=7)
+        assert factory.next() == "n-007"
+
+    def test_take(self):
+        assert IdFactory("x").take(3) == ["x-000000", "x-000001", "x-000002"]
+
+    def test_iter_yields_distinct(self):
+        factory = IdFactory("y")
+        iterator = iter(factory)
+        assert next(iterator) != next(iterator)
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IdFactory("")
+
+
+class TestIdHelpers:
+    def test_job_id_format(self):
+        assert job_id(42) == "job-000042"
+
+    def test_node_id_format(self):
+        assert node_id(3, 14) == "node-r03-s14"
+
+    def test_id_index_roundtrip(self):
+        assert id_index(job_id(123)) == 123
+
+    def test_id_index_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            id_index("job-abc")
+
+
+class _Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass(frozen=True)
+class _Inner:
+    value: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outer:
+    name: str = "x"
+    color: _Color = _Color.RED
+    inner: _Inner = _Inner()
+    items: tuple[int, ...] = (1, 2)
+    mapping: dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+class TestConfigRoundtrip:
+    def test_to_dict_flattens_enums_and_nesting(self):
+        data = config_to_dict(_Outer(mapping={"a": 1.5}))
+        assert data == {
+            "name": "x",
+            "color": "red",
+            "inner": {"value": 1},
+            "items": [1, 2],
+            "mapping": {"a": 1.5},
+        }
+
+    def test_roundtrip_restores_types(self):
+        original = _Outer(name="y", color=_Color.BLUE, inner=_Inner(9), items=(3,))
+        restored = config_from_dict(_Outer, config_to_dict(original))
+        assert restored == original
+        assert isinstance(restored.color, _Color)
+        assert isinstance(restored.inner, _Inner)
+        assert restored.items == (3,)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            config_from_dict(_Outer, {"nonsense": 1})
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ConfigError):
+            config_to_dict({"not": "a dataclass"})
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "config.json"
+        original = _Outer(name="saved", mapping={"k": 2.0})
+        save_config(original, path)
+        assert load_config(_Outer, path) == original
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_config(_Outer, path)
+
+
+class TestValidators:
+    def test_require_positive(self):
+        require_positive("x", 0.1)
+        with pytest.raises(ConfigError):
+            require_positive("x", 0.0)
+
+    def test_require_non_negative(self):
+        require_non_negative("x", 0.0)
+        with pytest.raises(ConfigError):
+            require_non_negative("x", -1)
+
+    def test_require_fraction(self):
+        require_fraction("x", 0.0)
+        require_fraction("x", 1.0)
+        with pytest.raises(ConfigError):
+            require_fraction("x", 1.01)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, ReproError), name
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.CapacityError, errors.AllocationError)
+        assert issubclass(errors.SchemaError, errors.ValidationError)
+        assert issubclass(errors.CacheError, errors.CompileError)
+        assert issubclass(errors.RuntimeSwitchError, errors.ExecutionError)
+        assert issubclass(errors.EventOrderError, errors.SimulationError)

@@ -1,0 +1,208 @@
+"""Tests for the HiveD-style buddy-cell allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.errors import PlacementError
+from repro.sched.placement.hived import (
+    BuddyCellPlacement,
+    _NodeCells,
+    next_pow2,
+    pow2_decompose,
+)
+from repro.workload import ResourceRequest
+
+
+class TestPow2Helpers:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16)]
+    )
+    def test_next_pow2(self, value, expected):
+        assert next_pow2(value) == expected
+
+    def test_next_pow2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+    @pytest.mark.parametrize(
+        "value,parts", [(8, [8]), (6, [4, 2]), (7, [4, 2, 1]), (1, [1])]
+    )
+    def test_pow2_decompose(self, value, parts):
+        assert pow2_decompose(value) == parts
+
+
+class TestNodeCells:
+    def test_fresh_node_one_full_cell(self):
+        cells = _NodeCells.fresh(8)
+        assert cells.free == {8: [0]}
+        assert cells.free_gpus() == 8
+
+    def test_split_keeps_low_offset(self):
+        cells = _NodeCells.fresh(8)
+        offset = cells.take(2)
+        assert offset == 0
+        assert cells.free == {2: [2], 4: [4]}
+
+    def test_release_merges_buddies(self):
+        cells = _NodeCells.fresh(8)
+        a = cells.take(2)
+        b = cells.take(2)
+        cells.release(2, a)
+        cells.release(2, b)
+        assert cells.free == {8: [0]}
+
+    def test_no_merge_with_non_buddy(self):
+        cells = _NodeCells.fresh(8)
+        a = cells.take(2)  # offset 0
+        b = cells.take(2)  # offset 2
+        c = cells.take(2)  # offset 4
+        cells.release(2, b)
+        # b's buddy (offset 0) is still held, so the 2-cell at 2 stays split
+        # (offset 6 is the remainder of c's split and is also free).
+        assert cells.free[2] == [2, 6]
+        cells.release(2, a)
+        cells.release(2, c)
+        assert cells.free == {8: [0]}
+
+    def test_take_without_capacity_raises(self):
+        cells = _NodeCells.fresh(4)
+        cells.take(4)
+        with pytest.raises(PlacementError):
+            cells.take(1)
+
+    def test_non_pow2_capacity(self):
+        cells = _NodeCells.fresh(6)
+        assert cells.free == {4: [0], 2: [4]}
+        assert cells.free_gpus() == 6
+
+    def test_verify_detects_overlap(self):
+        cells = _NodeCells.fresh(8)
+        cells.take(4)  # free is now {4: [4]}
+        cells.free[8] = [0]  # corrupt: 0-8 overlaps the free 4-8 cell
+        with pytest.raises(PlacementError):
+            cells.verify()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=30))
+    def test_random_take_release_always_merges_back(self, sizes):
+        cells = _NodeCells.fresh(8)
+        held: list[tuple[int, int]] = []
+        for size in sizes:
+            if cells.can_host(size):
+                held.append((size, cells.take(size)))
+            elif held:
+                cells.release(*held.pop(0))
+            cells.verify()
+        for size, offset in held:
+            cells.release(size, offset)
+        assert cells.free == {8: [0]}
+
+
+class TestBuddyCellPlacement:
+    def place_and_commit(self, policy, cluster, job_id, request):
+        placement = policy.place(cluster, request)
+        assert placement is not None
+        cluster.allocate(job_id, placement)
+        policy.on_allocate(cluster, job_id, placement)
+        return placement
+
+    def free_and_release(self, policy, cluster, job_id):
+        allocation = cluster.free(job_id)
+        policy.on_free(cluster, job_id, allocation.placement)
+
+    def test_alignment_rounds_up(self, small_cluster):
+        policy = BuddyCellPlacement()
+        self.place_and_commit(policy, small_cluster, "j1", ResourceRequest(num_gpus=3))
+        assert policy.waste_gpus == 1  # 3 GPUs occupy a 4-cell
+
+    def test_small_jobs_pack_without_shredding(self, small_cluster):
+        policy = BuddyCellPlacement()
+        # Four 2-GPU jobs should fill one node's cells, not spread.
+        for index in range(4):
+            placement = self.place_and_commit(
+                policy, small_cluster, f"j{index}", ResourceRequest(num_gpus=2)
+            )
+            assert placement == {"v100-000": 2}
+        # Fifth goes to the next node.
+        placement = self.place_and_commit(
+            policy, small_cluster, "j5", ResourceRequest(num_gpus=2)
+        )
+        assert placement == {"v100-001": 2}
+
+    def test_wide_job_preserved_by_packing(self, small_cluster):
+        policy = BuddyCellPlacement()
+        for index in range(3):
+            self.place_and_commit(policy, small_cluster, f"s{index}", ResourceRequest(num_gpus=2))
+        # All three small jobs sit on node 0; an 8-GPU job still fits on
+        # any of the remaining three whole nodes.
+        placement = policy.place(small_cluster, ResourceRequest(num_gpus=8))
+        assert placement is not None and list(placement.values()) == [8]
+
+    def test_place_is_pure(self, small_cluster):
+        policy = BuddyCellPlacement()
+        request = ResourceRequest(num_gpus=4)
+        first = policy.place(small_cluster, request)
+        second = policy.place(small_cluster, request)
+        assert first == second
+        policy.verify_invariants(small_cluster)
+
+    def test_free_merges_cells_back(self, small_cluster):
+        policy = BuddyCellPlacement()
+        self.place_and_commit(policy, small_cluster, "j1", ResourceRequest(num_gpus=4))
+        self.place_and_commit(policy, small_cluster, "j2", ResourceRequest(num_gpus=4))
+        self.free_and_release(policy, small_cluster, "j1")
+        self.free_and_release(policy, small_cluster, "j2")
+        policy.verify_invariants(small_cluster)
+        placement = policy.place(small_cluster, ResourceRequest(num_gpus=8))
+        assert placement is not None
+
+    def test_double_free_rejected(self, small_cluster):
+        policy = BuddyCellPlacement()
+        self.place_and_commit(policy, small_cluster, "j1", ResourceRequest(num_gpus=2))
+        self.free_and_release(policy, small_cluster, "j1")
+        with pytest.raises(PlacementError, match="no cells"):
+            policy.on_free(small_cluster, "j1", {"v100-000": 2})
+
+    def test_declines_on_aligned_exhaustion(self, small_cluster):
+        policy = BuddyCellPlacement()
+        # Two 3-GPU jobs per node consume two 4-cells: node full in cell
+        # terms even though 2 GPUs per node are physically free.
+        for node_index in range(4):
+            for slot in range(2):
+                self.place_and_commit(
+                    policy,
+                    small_cluster,
+                    f"j{node_index}-{slot}",
+                    ResourceRequest(num_gpus=3),
+                )
+        assert policy.place(small_cluster, ResourceRequest(num_gpus=2)) is None
+        assert small_cluster.free_gpus == 8  # the alignment cost, visible
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from([1, 2, 3, 4, 8]), min_size=1, max_size=25))
+    def test_random_workload_keeps_cell_books_consistent(self, widths):
+        cluster = uniform_cluster(3, gpus_per_node=8)
+        policy = BuddyCellPlacement()
+        live: list[str] = []
+        for index, width in enumerate(widths):
+            request = ResourceRequest(num_gpus=width)
+            placement = policy.place(cluster, request)
+            if placement is not None:
+                job_id = f"j{index}"
+                cluster.allocate(job_id, placement)
+                policy.on_allocate(cluster, job_id, placement)
+                live.append(job_id)
+            elif live:
+                job_id = live.pop(0)
+                allocation = cluster.free(job_id)
+                policy.on_free(cluster, job_id, allocation.placement)
+            policy.verify_invariants(cluster)
+            cluster.verify_invariants()
+        for job_id in live:
+            allocation = cluster.free(job_id)
+            policy.on_free(cluster, job_id, allocation.placement)
+        policy.verify_invariants(cluster)

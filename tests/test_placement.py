@@ -1,0 +1,154 @@
+"""Tests for placement policies: chunking, fit rules, policy rankings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.errors import ConfigError
+from repro.sched.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    TopologyAwarePlacement,
+    WorstFitPlacement,
+    make_placement,
+    request_chunks,
+)
+from repro.sched.placement.base import candidate_nodes, node_fits_chunk
+from repro.workload import ResourceRequest
+
+
+class TestChunking:
+    def test_single_node_request_one_chunk(self):
+        assert request_chunks(ResourceRequest(num_gpus=4)) == [4]
+
+    def test_multi_node_equal_chunks(self):
+        assert request_chunks(ResourceRequest(num_gpus=16, gpus_per_node=8)) == [8, 8]
+
+    def test_small_request_with_cap(self):
+        assert request_chunks(ResourceRequest(num_gpus=4, gpus_per_node=8)) == [4]
+
+
+class TestFitRules:
+    def test_type_filter(self, hetero_cluster):
+        request = ResourceRequest(num_gpus=2, gpu_type="a100-80")
+        a100 = hetero_cluster.nodes_of_type("a100-80")[0]
+        rtx = hetero_cluster.nodes_of_type("rtx3090")[0]
+        assert node_fits_chunk(a100, request, 2)
+        assert not node_fits_chunk(rtx, request, 2)
+
+    def test_cpu_memory_budget(self, small_cluster):
+        node = next(iter(small_cluster.nodes.values()))
+        heavy = ResourceRequest(num_gpus=8, cpus_per_gpu=13)  # 104 > 96
+        assert not node_fits_chunk(node, heavy, 8)
+
+    def test_candidates_deterministic_order(self, small_cluster):
+        request = ResourceRequest(num_gpus=1)
+        names = [n.node_id for n in candidate_nodes(small_cluster, request, 1)]
+        assert names == sorted(names)
+
+
+class TestFirstFit:
+    def test_takes_lowest_id_node(self, small_cluster):
+        placement = FirstFitPlacement().place(small_cluster, ResourceRequest(num_gpus=4))
+        assert placement == {"v100-000": 4}
+
+    def test_multi_node_distinct_nodes(self, small_cluster):
+        placement = FirstFitPlacement().place(
+            small_cluster, ResourceRequest(num_gpus=16, gpus_per_node=8)
+        )
+        assert placement == {"v100-000": 8, "v100-001": 8}
+
+    def test_declines_when_no_fit(self, small_cluster):
+        for index, node_id in enumerate(sorted(small_cluster.nodes)):
+            small_cluster.allocate(f"fill-{index}", {node_id: 6})
+        assert FirstFitPlacement().place(small_cluster, ResourceRequest(num_gpus=4)) is None
+
+    def test_single_type_rule_on_hetero(self, hetero_cluster):
+        # 2 chunks of 4: both A100 nodes qualify, RTX nodes qualify too,
+        # but the placement must not mix types.
+        placement = FirstFitPlacement().place(
+            hetero_cluster, ResourceRequest(num_gpus=8, gpus_per_node=4)
+        )
+        types = {hetero_cluster.node(n).spec.gpu_type for n in placement}
+        assert len(types) == 1
+
+
+class TestBestWorstFit:
+    def test_best_fit_prefers_tightest(self, small_cluster):
+        small_cluster.allocate("f", {"v100-001": 6})  # 2 free — tightest for 2
+        placement = BestFitPlacement().place(small_cluster, ResourceRequest(num_gpus=2))
+        assert placement == {"v100-001": 2}
+
+    def test_worst_fit_prefers_emptiest(self, small_cluster):
+        small_cluster.allocate("f", {"v100-000": 6})
+        placement = WorstFitPlacement().place(small_cluster, ResourceRequest(num_gpus=2))
+        assert placement == {"v100-001": 2}
+
+    def test_best_fit_keeps_nodes_whole(self, small_cluster):
+        small_cluster.allocate("f", {"v100-000": 4})
+        # Best-fit should land the 4-GPU job on the half-full node,
+        # leaving three empty nodes for wide jobs.
+        placement = BestFitPlacement().place(small_cluster, ResourceRequest(num_gpus=4))
+        assert placement == {"v100-000": 4}
+
+
+class TestTopologyAware:
+    def test_prefers_single_rack(self):
+        cluster = uniform_cluster(4, gpus_per_node=8, nodes_per_rack=2)
+        placement = TopologyAwarePlacement().place(
+            cluster, ResourceRequest(num_gpus=16, gpus_per_node=8)
+        )
+        racks = {cluster.node(n).rack_id for n in placement}
+        assert len(racks) == 1
+
+    def test_prefers_tightest_rack(self):
+        cluster = uniform_cluster(4, gpus_per_node=8, nodes_per_rack=2)
+        # Make rack 1 partially used: it still fits 2x4, and is tighter.
+        cluster.allocate("f", {"v100-000": 4, "v100-001": 4})
+        placement = TopologyAwarePlacement().place(
+            cluster, ResourceRequest(num_gpus=8, gpus_per_node=4)
+        )
+        assert set(placement) == {"v100-000", "v100-001"}
+
+    def test_spills_across_racks_when_needed(self):
+        cluster = uniform_cluster(4, gpus_per_node=8, nodes_per_rack=2)
+        cluster.allocate("f", {"v100-000": 8})
+        placement = TopologyAwarePlacement().place(
+            cluster, ResourceRequest(num_gpus=24, gpus_per_node=8)
+        )
+        assert placement is not None
+        racks = {cluster.node(n).rack_id for n in placement}
+        assert len(racks) == 2  # minimum possible
+
+    def test_declines_when_capacity_lacking(self, small_cluster):
+        assert (
+            TopologyAwarePlacement().place(
+                small_cluster, ResourceRequest(num_gpus=40, gpus_per_node=8)
+            )
+            is None
+        )
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in ("first-fit", "best-fit", "worst-fit", "topology-aware", "buddy-cell"):
+            assert make_placement(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError, match="known"):
+            make_placement("quantum-fit")
+
+    def test_placements_never_overcommit(self, small_cluster):
+        """Whatever a policy returns must be allocatable right now."""
+        small_cluster.allocate("f1", {"v100-000": 7})
+        small_cluster.allocate("f2", {"v100-001": 5})
+        request = ResourceRequest(num_gpus=6, gpus_per_node=3)
+        for name in ("first-fit", "best-fit", "worst-fit", "topology-aware", "buddy-cell"):
+            policy = make_placement(name)
+            placement = policy.place(small_cluster, request)
+            if placement is None:
+                continue
+            assert sum(placement.values()) == 6
+            for node_id, count in placement.items():
+                assert small_cluster.node(node_id).free_gpus >= count

@@ -1,0 +1,155 @@
+"""Tests for the learned duration predictor and prediction-driven SJF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.execlayer import UnitExecutionModel
+from repro.sched import DurationPredictor, PredictedSjfScheduler, make_scheduler
+from repro.sched.predictor import _width_class
+from repro.sim import ClusterSimulator, SimConfig
+from repro.workload import Trace
+from tests.conftest import make_job
+
+
+class TestWidthClass:
+    @pytest.mark.parametrize(
+        "gpus,cls", [(1, 1), (2, 2), (4, 2), (5, 3), (8, 3), (9, 4), (64, 4)]
+    )
+    def test_buckets(self, gpus, cls):
+        assert _width_class(gpus) == cls
+
+
+class TestDurationPredictor:
+    def test_falls_back_to_estimate_without_history(self):
+        predictor = DurationPredictor()
+        job = make_job("a", duration=100.0, walltime_estimate=500.0)
+        assert predictor.predict(job) == 500.0
+        assert predictor.confidence(job) == "estimate"
+
+    def test_learns_user_class_history(self):
+        predictor = DurationPredictor(min_history=3, inflation=1.0, quantile=0.5)
+        for index in range(5):
+            job = make_job(f"j{index}", duration=100.0, user="alice")
+            predictor.observe(job, 600.0)
+        new_job = make_job("new", duration=100.0, user="alice", walltime_estimate=9e9)
+        assert predictor.predict(new_job) == pytest.approx(600.0)
+        assert predictor.confidence(new_job) == "user-class"
+
+    def test_user_fallback_across_width_classes(self):
+        predictor = DurationPredictor(min_history=3, inflation=1.0, quantile=0.5)
+        for index in range(4):
+            predictor.observe(make_job(f"j{index}", num_gpus=1, user="bob"), 300.0)
+        wide = make_job("wide", num_gpus=8, user="bob", walltime_estimate=9e9)
+        assert predictor.confidence(wide) == "user"
+        assert predictor.predict(wide) == pytest.approx(300.0)
+
+    def test_global_fallback_for_new_users(self):
+        predictor = DurationPredictor(min_history=2, inflation=1.0, quantile=0.5)
+        for index in range(20):
+            predictor.observe(make_job(f"j{index}", user=f"u{index}"), 900.0)
+        stranger = make_job("s", user="stranger", walltime_estimate=9e9)
+        assert predictor.confidence(stranger) == "global"
+        assert predictor.predict(stranger) == pytest.approx(900.0)
+
+    def test_inflation_applied(self):
+        predictor = DurationPredictor(min_history=1, inflation=2.0, quantile=0.5)
+        predictor.observe(make_job("a", user="u"), 100.0)
+        predictor.observe(make_job("b", user="u"), 100.0)
+        assert predictor.predict(make_job("c", user="u")) == pytest.approx(200.0)
+
+    def test_window_rolls_old_history_off(self):
+        predictor = DurationPredictor(window=4, min_history=1, inflation=1.0, quantile=0.5)
+        for _ in range(10):
+            predictor.observe(make_job("x", user="u"), 1000.0)
+        for _ in range(4):
+            predictor.observe(make_job("x", user="u"), 10.0)
+        assert predictor.predict(make_job("y", user="u")) == pytest.approx(10.0)
+
+    def test_nonpositive_runtime_ignored(self):
+        predictor = DurationPredictor()
+        predictor.observe(make_job("a"), 0.0)
+        assert predictor.observations == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DurationPredictor(quantile=1.0)
+        with pytest.raises(ValueError):
+            DurationPredictor(inflation=0.9)
+
+
+class TestPredictedSjf:
+    def test_learns_online_during_simulation(self):
+        # alice always runs 60 s despite claiming 10 h; bob runs 5 h.
+        # After warmup, alice's next job should overtake bob's queued job.
+        scheduler = PredictedSjfScheduler(
+            predictor=DurationPredictor(min_history=2, quantile=0.5, inflation=1.0)
+        )
+        jobs = []
+        for index in range(3):  # warmup: alice's short jobs, serialized
+            jobs.append(
+                make_job(
+                    f"warm{index}",
+                    num_gpus=8,
+                    duration=60.0,
+                    submit_time=index * 100.0,
+                    user="alice",
+                    walltime_estimate=36_000.0,
+                )
+            )
+        jobs.append(
+            make_job(
+                "blocker", num_gpus=8, duration=5000.0, submit_time=400.0, user="carol"
+            )
+        )
+        jobs.append(
+            make_job(
+                "bob1",
+                num_gpus=8,
+                duration=18_000.0,
+                submit_time=500.0,
+                user="bob",
+                walltime_estimate=18_000.0,
+            )
+        )
+        jobs.append(
+            make_job(
+                "alice-final",
+                num_gpus=8,
+                duration=60.0,
+                submit_time=600.0,
+                user="alice",
+                walltime_estimate=36_000.0,  # estimate says LONGER than bob's
+            )
+        )
+        cluster = uniform_cluster(1, gpus_per_node=8)
+        ClusterSimulator(
+            cluster,
+            scheduler,
+            Trace(jobs),
+            exec_model=UnitExecutionModel(),
+            config=SimConfig(sample_interval_s=0.0),
+        ).run()
+        by_id = {job.job_id: job for job in jobs}
+        # With estimates alone bob1 would start first; the learned history
+        # says alice's jobs are tiny.
+        assert by_id["alice-final"].first_start_time < by_id["bob1"].first_start_time
+
+    def test_registered_in_zoo(self):
+        assert make_scheduler("sjf-predicted").name == "sjf-predicted"
+
+    def test_completes_workload(self):
+        jobs = [
+            make_job(f"j{i}", num_gpus=2, duration=100.0, submit_time=float(i), user=f"u{i % 2}")
+            for i in range(8)
+        ]
+        cluster = uniform_cluster(1, gpus_per_node=8)
+        result = ClusterSimulator(
+            cluster,
+            PredictedSjfScheduler(),
+            Trace(jobs),
+            exec_model=UnitExecutionModel(),
+            config=SimConfig(sample_interval_s=0.0),
+        ).run()
+        assert result.metrics.jobs_completed == 8

@@ -1,0 +1,134 @@
+"""Tests for the multifactor priority machinery and fair-share scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.errors import ConfigError
+from repro.sched import FairShareScheduler
+from repro.sched.priority import MultifactorPriority, PriorityWeights, UsageTracker
+from repro.sim import ClusterSimulator, SimConfig
+from repro.workload import JobTier, Trace
+from tests.conftest import make_job
+
+
+class TestUsageTracker:
+    def test_accumulates(self):
+        tracker = UsageTracker()
+        tracker.add("u", 100.0, now=0.0)
+        tracker.add("u", 50.0, now=0.0)
+        assert tracker.usage("u", now=0.0) == pytest.approx(150.0)
+
+    def test_half_life_decay(self):
+        tracker = UsageTracker(half_life_s=100.0)
+        tracker.add("u", 100.0, now=0.0)
+        assert tracker.usage("u", now=100.0) == pytest.approx(50.0)
+        assert tracker.usage("u", now=200.0) == pytest.approx(25.0)
+
+    def test_unknown_entity_zero(self):
+        assert UsageTracker().usage("ghost", now=0.0) == 0.0
+
+    def test_total_and_entities(self):
+        tracker = UsageTracker()
+        tracker.add("a", 10.0, now=0.0)
+        tracker.add("b", 20.0, now=0.0)
+        assert tracker.total(now=0.0) == pytest.approx(30.0)
+        assert tracker.entities() == ("a", "b")
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ConfigError):
+            UsageTracker().add("u", -1.0, now=0.0)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ConfigError):
+            UsageTracker(half_life_s=0.0)
+
+
+class TestMultifactorPriority:
+    def test_age_factor_saturates(self):
+        priority = MultifactorPriority(PriorityWeights(age_saturation_s=100.0))
+        job = make_job(submit_time=0.0)
+        assert priority.age_factor(job, now=50.0) == pytest.approx(0.5)
+        assert priority.age_factor(job, now=1000.0) == 1.0
+
+    def test_fair_share_favours_idle_users(self):
+        usage = UsageTracker()
+        usage.add("hog", 1e6, now=0.0)
+        usage.add("idle", 0.0, now=0.0)
+        priority = MultifactorPriority(usage=usage)
+        hog_job = make_job("a", user="hog")
+        idle_job = make_job("b", user="idle")
+        assert priority.fair_share_factor(idle_job, 0.0) > priority.fair_share_factor(
+            hog_job, 0.0
+        )
+
+    def test_size_factor_monotone_decreasing(self):
+        priority = MultifactorPriority()
+        factors = [priority.size_factor(make_job(num_gpus=g)) for g in (1, 4, 16, 64)]
+        assert factors == sorted(factors, reverse=True)
+        assert factors[0] == 1.0
+
+    def test_qos_factor(self):
+        priority = MultifactorPriority()
+        assert priority.qos_factor(make_job(tier=JobTier.GUARANTEED)) == 1.0
+        assert priority.qos_factor(make_job(tier=JobTier.OPPORTUNISTIC)) == 0.0
+
+    def test_priority_combines_weights(self):
+        weights = PriorityWeights(age=0.0, fair_share=0.0, job_size=0.0, qos=100.0)
+        priority = MultifactorPriority(weights)
+        assert priority.priority(make_job(tier=JobTier.GUARANTEED), 0.0) == pytest.approx(100.0)
+        assert priority.priority(make_job(tier=JobTier.OPPORTUNISTIC), 0.0) == pytest.approx(0.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            PriorityWeights(age=-1.0)
+
+
+class TestFairShareScheduler:
+    def run_jobs(self, jobs, **sched_kwargs):
+        cluster = uniform_cluster(1, gpus_per_node=8)
+        scheduler = FairShareScheduler(**sched_kwargs)
+        simulator = ClusterSimulator(
+            cluster,
+            scheduler,
+            Trace(list(jobs)),
+            config=SimConfig(sample_interval_s=0.0),
+        )
+        return simulator.run(), scheduler
+
+    def test_heavy_user_queued_behind_light_user(self):
+        jobs = [
+            # hog builds up usage first.
+            make_job("h1", num_gpus=8, duration=50_000.0, submit_time=0.0, user="hog"),
+            make_job("h2", num_gpus=8, duration=100.0, submit_time=10.0, user="hog"),
+            make_job("l1", num_gpus=8, duration=100.0, submit_time=20.0, user="light"),
+        ]
+        self.run_jobs(jobs)
+        assert jobs[2].first_start_time < jobs[1].first_start_time
+
+    def test_usage_charged_incrementally_while_running(self):
+        jobs = [make_job("a", num_gpus=8, duration=10_000.0, user="u")]
+        _result, scheduler = self.run_jobs(jobs)
+        assert scheduler.usage.usage("u", now=10_000.0) > 0.0
+
+    def test_age_eventually_wins(self):
+        # Even a hog's job must not starve forever: age accumulates.
+        weights = PriorityWeights(age=10_000.0, fair_share=100.0, age_saturation_s=3600.0)
+        jobs = [
+            make_job("h1", num_gpus=8, duration=7200.0, submit_time=0.0, user="hog"),
+            make_job("h2", num_gpus=8, duration=100.0, submit_time=1.0, user="hog"),
+            make_job("l1", num_gpus=8, duration=100.0, submit_time=7000.0, user="light"),
+        ]
+        self.run_jobs(jobs, weights=weights)
+        # h2 aged for two hours; despite the hog's usage it beats the
+        # fresh light job.
+        assert jobs[1].first_start_time < jobs[2].first_start_time
+
+    def test_all_jobs_complete(self):
+        jobs = [
+            make_job(f"j{i}", num_gpus=2, duration=100.0, submit_time=float(i), user=f"u{i % 3}")
+            for i in range(9)
+        ]
+        result, _ = self.run_jobs(jobs)
+        assert result.metrics.jobs_completed == 9
