@@ -1,0 +1,102 @@
+"""Benchmark: scheduler hot-path wall time vs cluster size.
+
+Sweeps uniform clusters (8-GPU nodes) under the same fixed-load workload as
+F10 — a 2-day tacc-campus trace synthesised at 0.9 load per size — and
+records simulator wall time plus the :class:`repro.perf.PerfCounters`
+scheduler-pass telemetry for each size.
+
+Results are appended to ``BENCH_hotpath.json`` at the repo root as a
+*trajectory*: the checked-in file carries the pre-index baseline rows and
+the rows measured when the incremental cluster index landed; each run of
+this benchmark replaces the ``latest`` entry, so regressions against the
+recorded trajectory are visible in the diff.
+
+At ``--repro-scale`` < 1.0 the sweep stops at 256 GPUs (CI smoke); at full
+scale it reaches 2048 GPUs, where the index shows its >=3x win.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster.cluster import uniform_cluster
+from repro.experiments.common import run_policy
+from repro.experiments.scheduling import make_scheduler
+from repro.workload.models import assign_models
+from repro.workload.synth import TraceSynthesizer, tacc_campus, with_load
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_hotpath.json"
+FULL_NODE_COUNTS = [4, 8, 16, 32, 64, 128, 256]
+SMOKE_NODE_COUNTS = [4, 8, 16, 32]
+
+
+def run_hotpath_sweep(node_counts: list[int], seed: int) -> list[dict]:
+    """One row per cluster size: wall time + scheduler-pass perf counters."""
+    rows = []
+    for nodes in node_counts:
+        cluster = uniform_cluster(nodes, gpus_per_node=8)
+        config = with_load(
+            tacc_campus(days=2.0), cluster.total_gpus, 0.9, seed=seed + nodes
+        )
+        trace = TraceSynthesizer(config, seed=seed + nodes).generate()
+        assign_models(trace, seed=seed)
+        scheduler = make_scheduler("backfill-easy")
+        started = time.perf_counter()
+        result = run_policy(scheduler, trace, cluster=cluster)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "gpus": nodes * 8,
+                "jobs": len(trace),
+                "events": result.events_processed,
+                "sim_wall_s": round(elapsed, 6),
+                "perf": {
+                    key: round(value, 6)
+                    for key, value in result.perf.as_dict().items()
+                },
+            }
+        )
+    return rows
+
+
+def update_trajectory(rows: list[dict], seed: int) -> None:
+    """Replace the ``latest`` entry of the BENCH_hotpath.json trajectory."""
+    doc = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {
+        "benchmark": "scheduler hot path",
+        "trajectory": [],
+    }
+    doc["trajectory"] = [
+        entry for entry in doc["trajectory"] if entry.get("label") != "latest"
+    ]
+    doc["trajectory"].append({"label": "latest", "seed": seed, "rows": rows})
+    BENCH_PATH.write_text(json.dumps(doc, indent=1) + "\n")
+
+
+def test_perf_hotpath(request, benchmark, capsys):
+    scale = float(request.config.getoption("--repro-scale"))
+    seed = int(request.config.getoption("--repro-seed"))
+    node_counts = FULL_NODE_COUNTS if scale >= 1.0 else SMOKE_NODE_COUNTS
+
+    rows = benchmark.pedantic(
+        lambda: run_hotpath_sweep(node_counts, seed), rounds=1, iterations=1
+    )
+    update_trajectory(rows, seed)
+
+    with capsys.disabled():
+        print("\n  gpus  wall_s    attempts  nodes/attempt")
+        for row in rows:
+            perf = row["perf"]
+            print(
+                f"  {row['gpus']:>5} {row['sim_wall_s']:>8.4f}"
+                f" {perf['placement_attempts']:>9.0f}"
+                f" {perf['nodes_per_attempt']:>13.2f}"
+            )
+    assert rows
+    # The index keeps per-attempt scan cost far below cluster size: on the
+    # largest swept cluster, a placement attempt must touch only a small
+    # fraction of the nodes (the pre-index scan examined most of them).
+    largest = rows[-1]
+    if largest["perf"]["placement_attempts"]:
+        assert largest["perf"]["nodes_per_attempt"] < largest["gpus"] / 8 / 2

@@ -12,6 +12,7 @@ from .cluster import (
     uniform_cluster,
 )
 from .gpu import GPU_CATALOG, GPUSpec, get_gpu_spec, register_gpu_spec
+from .index import ClusterIndex
 from .node import Node, NodeAllocation, NodeSpec
 from .partition import PartitionSpec, PartitionTable
 from .topology import FabricSpec, Locality, Topology
@@ -19,6 +20,7 @@ from .topology import FabricSpec, Locality, Topology
 __all__ = [
     "GPU_CATALOG",
     "Cluster",
+    "ClusterIndex",
     "ClusterSpec",
     "FabricSpec",
     "GPUSpec",

@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 
 from ..errors import AllocationError, ConfigError, UnknownJobError, UnknownNodeError
 from ..ids import JobId, NodeId, RackId
+from .index import ClusterIndex
 from .node import Node, NodeAllocation, NodeSpec
 from .partition import PartitionSpec, PartitionTable
 from .topology import FabricSpec, Topology
@@ -101,7 +102,17 @@ class Cluster:
     partitions: PartitionTable = field(default_factory=PartitionTable)
     _job_allocations: dict[JobId, JobAllocation] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # The node set is fixed for the cluster's lifetime; the index keeps
+        # O(1) aggregates and pre-sorted candidate pools over it.
+        self._index = ClusterIndex(self.nodes)
+
     # -- capacity queries ------------------------------------------------------
+
+    @property
+    def index(self) -> ClusterIndex:
+        """Incremental aggregates + candidate pools (read-optimised view)."""
+        return self._index
 
     @property
     def node_ids(self) -> tuple[NodeId, ...]:
@@ -109,19 +120,19 @@ class Cluster:
 
     @property
     def total_gpus(self) -> int:
-        return sum(n.spec.num_gpus for n in self.nodes.values())
+        return self._index.total_gpus
 
     @property
     def healthy_gpus(self) -> int:
-        return sum(n.spec.num_gpus for n in self.nodes.values() if n.healthy)
+        return self._index.healthy_gpus
 
     @property
     def free_gpus(self) -> int:
-        return sum(n.free_gpus for n in self.nodes.values() if n.healthy)
+        return self._index.free_healthy_gpus
 
     @property
     def used_gpus(self) -> int:
-        return sum(n.used_gpus for n in self.nodes.values())
+        return self._index.used_gpus
 
     @property
     def running_jobs(self) -> tuple[JobId, ...]:
@@ -137,7 +148,7 @@ class Cluster:
         return self.node(node_id).spec.gpu_type
 
     def nodes_of_type(self, gpu_type: str) -> tuple[Node, ...]:
-        return tuple(n for n in self.nodes.values() if n.spec.gpu_type == gpu_type)
+        return self._index.nodes_of_type(gpu_type)
 
     def gpu_census(self) -> dict[str, int]:
         """Total GPUs by type — the T1 composition table."""
@@ -203,6 +214,8 @@ class Cluster:
             for done in committed:
                 self.nodes[done.node_id].free(job_id)
             raise
+        for done in committed:
+            self._index.on_allocate(self.nodes[done.node_id], done.num_gpus)
         allocation = JobAllocation(job_id, tuple(committed))
         self._job_allocations[job_id] = allocation
         return allocation
@@ -211,7 +224,9 @@ class Cluster:
         """Release everything *job_id* holds; returns the released record."""
         allocation = self.allocation_of(job_id)
         for node_allocation in allocation.node_allocations:
-            self.nodes[node_allocation.node_id].free(job_id)
+            node = self.nodes[node_allocation.node_id]
+            node.free(job_id)
+            self._index.on_free(node, node_allocation.num_gpus)
         del self._job_allocations[job_id]
         return allocation
 
@@ -221,10 +236,19 @@ class Cluster:
         The returned jobs still hold cluster-wide allocations — the caller
         decides whether to kill or requeue them (and must then :meth:`free`).
         """
-        return self.node(node_id).fail()
+        node = self.node(node_id)
+        was_healthy = node.healthy
+        victims = node.fail()
+        if was_healthy:
+            self._index.on_fail(node)
+        return victims
 
     def repair_node(self, node_id: NodeId) -> None:
-        self.node(node_id).repair()
+        node = self.node(node_id)
+        was_healthy = node.healthy
+        node.repair()
+        if not was_healthy:
+            self._index.on_repair(node)
 
     def jobs_on_node(self, node_id: NodeId) -> tuple[JobId, ...]:
         return self.node(node_id).jobs
@@ -250,10 +274,15 @@ class Cluster:
         """
         chunk = min(num_gpus, gpus_per_node or num_gpus)
         chunks_needed = max(1, -(-num_gpus // chunk))
+        # O(1) pre-filter: chunks_needed nodes with `chunk` free each need at
+        # least that much free in total on eligible healthy nodes.
+        if gpu_type is None:
+            if self._index.free_healthy_gpus < chunk * chunks_needed:
+                return False
+        elif self._index.free_gpus_of_type(gpu_type) < chunk * chunks_needed:
+            return False
         hosts = 0
-        for node in self.nodes.values():
-            if gpu_type is not None and node.spec.gpu_type != gpu_type:
-                continue
+        for node in self._index.candidate_pool(gpu_type):
             if node.can_fit(chunk, cpus_per_gpu * chunk, memory_gb_per_gpu * chunk):
                 hosts += 1
                 if hosts >= chunks_needed:
@@ -263,9 +292,11 @@ class Cluster:
     # -- auditing -----------------------------------------------------------------
 
     def verify_invariants(self) -> None:
-        """Audit all books: per-node invariants plus cross-references."""
+        """Audit all books: per-node invariants, cross-references, and the
+        incremental index counters against a full scan."""
         for node in self.nodes.values():
             node.verify_invariants()
+        self._index.verify(self.nodes)
         for job_id, allocation in self._job_allocations.items():
             for node_allocation in allocation.node_allocations:
                 node = self.node(node_allocation.node_id)
@@ -286,8 +317,9 @@ class Cluster:
         healthy = self.healthy_gpus
         if healthy == 0:
             return 0.0
-        used = sum(n.used_gpus for n in self.nodes.values() if n.healthy)
-        return used / healthy
+        # Used-on-healthy falls out of the incremental aggregates: everything
+        # on a healthy node is either free or allocated.
+        return (healthy - self._index.free_healthy_gpus) / healthy
 
 
 def build_cluster(spec: ClusterSpec, partitions: Iterable[PartitionSpec] = ()) -> Cluster:

@@ -1,0 +1,256 @@
+"""Incremental cluster-state index: O(1) aggregates + pre-bucketed node pools.
+
+Every scheduling pass asks the same questions — how many GPUs are free,
+which healthy nodes of type X could host a chunk — and answering them with
+full node scans makes per-event cost grow with cluster size.  This module
+keeps the answers *incrementally*:
+
+* **Running aggregates** (``used_gpus``, ``healthy_gpus``,
+  ``free_healthy_gpus``, per-type free counts) are updated by O(placement)
+  hooks that :class:`~repro.cluster.cluster.Cluster` calls from
+  ``allocate`` / ``free`` / ``fail_node`` / ``repair_node``, so capacity
+  queries are O(1) regardless of node count.
+* **Candidate pools** — all nodes sorted by id once at build time, plus a
+  per-GPU-type view in the same relative order.  Placement policies filter
+  these static tuples instead of re-sorting ``cluster.nodes`` on every
+  attempt; within a pool the order is identical to sorting the full node
+  dict, so placements (and therefore simulation results) are byte-for-byte
+  unchanged.
+
+The node *set* is fixed after cluster construction (the simulator models
+failures as health flips, never membership changes), which is what lets the
+pools be immutable tuples.  :meth:`verify` cross-checks every incremental
+counter against a full scan and is wired into
+``Cluster.verify_invariants`` so the debug-mode audit catches any drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..errors import AllocationError
+from ..ids import NodeId
+from ..perf import PerfCounters
+from .node import Node
+
+
+class ClusterIndex:
+    """Read-optimised incremental view of one cluster's node state.
+
+    Mutation happens only through the ``on_*`` hooks, which the owning
+    :class:`~repro.cluster.cluster.Cluster` invokes around its own state
+    transitions; everything else is a query.
+    """
+
+    def __init__(self, nodes: Mapping[NodeId, Node]) -> None:
+        ordered = tuple(nodes[node_id] for node_id in sorted(nodes))
+        self._nodes_sorted: tuple[Node, ...] = ordered
+        by_type: dict[str, list[Node]] = {}
+        for node in ordered:
+            by_type.setdefault(node.spec.gpu_type, []).append(node)
+        self._by_type: dict[str, tuple[Node, ...]] = {
+            gpu_type: tuple(members) for gpu_type, members in by_type.items()
+        }
+        # -- running aggregates (maintained by the hooks below) --------------
+        self.total_gpus: int = sum(n.spec.num_gpus for n in ordered)
+        self.used_gpus: int = sum(n.used_gpus for n in ordered)
+        self.healthy_gpus: int = sum(n.spec.num_gpus for n in ordered if n.healthy)
+        self.free_healthy_gpus: int = sum(n.free_gpus for n in ordered if n.healthy)
+        self._free_by_type: dict[str, int] = {
+            gpu_type: sum(n.free_gpus for n in members if n.healthy)
+            for gpu_type, members in self._by_type.items()
+        }
+        # Per-type availability histogram: _free_hist[t][c] counts healthy
+        # nodes of type t with at least c GPUs free (c >= 1).  Lets the
+        # placement layer reject impossible requests in O(1) — the common
+        # case on a congested cluster — instead of scanning every node to
+        # conclude nothing fits.  Updated in O(gpus moved) per transition.
+        self._free_hist: dict[str, list[int]] = {}
+        for gpu_type, members in self._by_type.items():
+            hist = [0] * (max(n.spec.num_gpus for n in members) + 1)
+            for node in members:
+                if node.healthy:
+                    for count in range(1, node.free_gpus + 1):
+                        hist[count] += 1
+            self._free_hist[gpu_type] = hist
+        #: Hot-path counters; the simulator rebinds a fresh struct per run.
+        self.perf = PerfCounters()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes_sorted(self) -> tuple[Node, ...]:
+        """All nodes in id order (health and fullness NOT filtered)."""
+        return self._nodes_sorted
+
+    @property
+    def gpu_types(self) -> tuple[str, ...]:
+        """GPU types present, in first-appearance (id) order."""
+        return tuple(self._by_type)
+
+    def nodes_of_type(self, gpu_type: str) -> tuple[Node, ...]:
+        """Nodes of one type in id order (empty for unknown types)."""
+        return self._by_type.get(gpu_type, ())
+
+    def free_gpus_of_type(self, gpu_type: str) -> int:
+        """Free GPUs on healthy nodes of one type — O(1)."""
+        return self._free_by_type.get(gpu_type, 0)
+
+    def candidate_pool(self, gpu_type: str | None) -> tuple[Node, ...]:
+        """The static pool a placement scan should filter.
+
+        Typed requests get the per-type tuple; untyped requests get the
+        global id-ordered tuple (the single-GPU-type rule is applied by the
+        placement layer, which needs cross-type candidate order).
+        """
+        if gpu_type is None:
+            return self._nodes_sorted
+        return self._by_type.get(gpu_type, ())
+
+    def nodes_with_free(self, gpu_type: str, chunk: int) -> int:
+        """Healthy nodes of one type with >= *chunk* GPUs free — O(1).
+
+        An upper bound on a request's candidate count (CPU/memory and
+        allowed-node constraints can only shrink it further), which is what
+        makes it safe for short-circuiting impossible placements.
+        """
+        hist = self._free_hist.get(gpu_type)
+        if hist is None or chunk >= len(hist):
+            return 0
+        return hist[chunk] if chunk >= 1 else len(self._by_type[gpu_type])
+
+    def may_fit_chunk(self, gpu_type: str | None, chunk: int) -> bool:
+        """Cheap O(1) pre-filter: could *any* node host a chunk this size?"""
+        if gpu_type is None:
+            return any(
+                self.nodes_with_free(gpu_type, chunk) > 0 for gpu_type in self._by_type
+            )
+        return self.nodes_with_free(gpu_type, chunk) > 0
+
+    def placement_possible(self, gpu_type: str | None, chunk: int, num_chunks: int) -> bool:
+        """O(#types) necessary condition for a gang placement to exist now.
+
+        Every policy needs ``num_chunks`` distinct nodes of a single GPU
+        type with ``chunk`` free GPUs each; when no type has that many,
+        every candidate scan is guaranteed to come up short, so policies
+        return ``None`` without touching a node.
+        """
+        if gpu_type is not None:
+            return self.nodes_with_free(gpu_type, chunk) >= num_chunks
+        return any(
+            self.nodes_with_free(gpu_type, chunk) >= num_chunks
+            for gpu_type in self._by_type
+        )
+
+    def iter_candidates(self, gpu_type: str | None, chunk: int) -> Iterator[Node]:
+        """Nodes (id order) worth testing for a chunk, with perf accounting.
+
+        Yields every node of the pool — callers apply their own fit
+        predicate — but short-circuits to nothing when :meth:`may_fit_chunk`
+        proves the scan pointless.  Nodes handed out are counted into
+        :attr:`perf` even when the consumer stops early (first-fit).
+        """
+        perf = self.perf
+        perf.candidate_scans += 1
+        if not self.may_fit_chunk(gpu_type, chunk):
+            return
+        examined = 0
+        try:
+            for node in self.candidate_pool(gpu_type):
+                examined += 1
+                yield node
+        finally:
+            perf.nodes_examined += examined
+
+    # -- mutation hooks (called by Cluster only) --------------------------------
+
+    def on_allocate(self, node: Node, gpus: int) -> None:
+        """*gpus* GPUs were just allocated on *node* (node was healthy)."""
+        self.used_gpus += gpus
+        self.free_healthy_gpus -= gpus
+        gpu_type = node.spec.gpu_type
+        self._free_by_type[gpu_type] -= gpus
+        hist = self._free_hist[gpu_type]
+        free_now = node.free_gpus  # node books already reflect the grab
+        for count in range(free_now + 1, free_now + gpus + 1):
+            hist[count] -= 1
+
+    def on_free(self, node: Node, gpus: int) -> None:
+        """*gpus* GPUs were just released on *node*.
+
+        Failed nodes keep their books until their jobs are cleaned up, so a
+        release on an unhealthy node adjusts only the used counter — the
+        GPUs do not become schedulable until repair.
+        """
+        self.used_gpus -= gpus
+        if node.healthy:
+            gpu_type = node.spec.gpu_type
+            self.free_healthy_gpus += gpus
+            self._free_by_type[gpu_type] += gpus
+            hist = self._free_hist[gpu_type]
+            free_now = node.free_gpus
+            for count in range(free_now - gpus + 1, free_now + 1):
+                hist[count] += 1
+
+    def on_fail(self, node: Node) -> None:
+        """*node* just transitioned healthy → failed (books still intact)."""
+        gpu_type = node.spec.gpu_type
+        self.healthy_gpus -= node.spec.num_gpus
+        self.free_healthy_gpus -= node.free_gpus
+        self._free_by_type[gpu_type] -= node.free_gpus
+        hist = self._free_hist[gpu_type]
+        for count in range(1, node.free_gpus + 1):
+            hist[count] -= 1
+
+    def on_repair(self, node: Node) -> None:
+        """*node* just transitioned failed → healthy (books emptied)."""
+        gpu_type = node.spec.gpu_type
+        self.healthy_gpus += node.spec.num_gpus
+        self.free_healthy_gpus += node.free_gpus
+        self._free_by_type[gpu_type] += node.free_gpus
+        hist = self._free_hist[gpu_type]
+        for count in range(1, node.free_gpus + 1):
+            hist[count] += 1
+
+    # -- auditing ----------------------------------------------------------------
+
+    def verify(self, nodes: Mapping[NodeId, Node]) -> None:
+        """Cross-check every incremental counter against a full scan."""
+        if set(nodes) != {node.node_id for node in self._nodes_sorted}:
+            raise AllocationError("index node set diverged from the cluster")
+        scans = {
+            "total_gpus": (self.total_gpus, sum(n.spec.num_gpus for n in nodes.values())),
+            "used_gpus": (self.used_gpus, sum(n.used_gpus for n in nodes.values())),
+            "healthy_gpus": (
+                self.healthy_gpus,
+                sum(n.spec.num_gpus for n in nodes.values() if n.healthy),
+            ),
+            "free_healthy_gpus": (
+                self.free_healthy_gpus,
+                sum(n.free_gpus for n in nodes.values() if n.healthy),
+            ),
+        }
+        for counter, (incremental, scanned) in scans.items():
+            if incremental != scanned:
+                raise AllocationError(
+                    f"index counter {counter} drifted: incremental={incremental} "
+                    f"full-scan={scanned}"
+                )
+        for gpu_type, members in self._by_type.items():
+            scanned = sum(n.free_gpus for n in members if n.healthy)
+            if self._free_by_type[gpu_type] != scanned:
+                raise AllocationError(
+                    f"index free count for {gpu_type} drifted: "
+                    f"incremental={self._free_by_type[gpu_type]} full-scan={scanned}"
+                )
+            hist = self._free_hist[gpu_type]
+            for count in range(1, len(hist)):
+                scanned_count = sum(
+                    1 for n in members if n.healthy and n.free_gpus >= count
+                )
+                if hist[count] != scanned_count:
+                    raise AllocationError(
+                        f"index availability histogram for {gpu_type} drifted at "
+                        f">={count} free: incremental={hist[count]} "
+                        f"full-scan={scanned_count}"
+                    )

@@ -177,7 +177,7 @@ def run_f10_scalability(seed: int, scale: float) -> ExperimentResult:
     """F10: simulator throughput vs cluster size (fixed load)."""
     rows = []
     series = {"events_per_s": [], "sim_wall_s": []}
-    node_counts = [4, 8, 16, 32, 64] if scale >= 1.0 else [4, 8, 16, 32]
+    node_counts = [4, 8, 16, 32, 64, 128, 256] if scale >= 1.0 else [4, 8, 16, 32]
     for nodes in node_counts:
         cluster = uniform_cluster(nodes, gpus_per_node=8)
         config = with_load(
@@ -199,6 +199,9 @@ def run_f10_scalability(seed: int, scale: float) -> ExperimentResult:
                 "sim_wall_s": elapsed,
                 "events_per_s": events_per_s,
                 "sim_days_per_wall_s": (result.end_time / 86400.0) / max(elapsed, 1e-9),
+                "placement_attempts": result.perf.placement_attempts,
+                "nodes_per_attempt": round(result.perf.nodes_per_attempt, 3),
+                "sched_pass_wall_s": round(result.perf.sched_pass_wall_s, 6),
             }
         )
         series["events_per_s"].append((gpus, events_per_s))
@@ -210,9 +213,11 @@ def run_f10_scalability(seed: int, scale: float) -> ExperimentResult:
         series=series,
         x_label="gpus",
         notes=(
-            "Event throughput stays within the same order of magnitude as the "
-            "cluster grows (scheduler passes scan more nodes, but passes per "
-            "job stay flat), so multi-month campus traces simulate in "
-            "seconds-to-minutes."
+            "The incremental cluster index keeps nodes-examined-per-attempt "
+            "roughly flat as the cluster grows (candidate scans are pre-"
+            "bucketed by GPU type and doomed attempts are rejected in O(1) "
+            "from the availability histogram), so wall time scales with the "
+            "event count rather than cluster-size x queue-depth, and multi-"
+            "month campus traces simulate in seconds-to-minutes."
         ),
     )

@@ -1,0 +1,58 @@
+"""Hot-path performance counters.
+
+:class:`PerfCounters` is a plain mutable struct threaded through the layers
+that do per-event work — the cluster index counts nodes examined per
+candidate scan, the scheduler framework counts placement attempts, and the
+simulator accumulates scheduler-pass wall time.  The counters are
+*observational only*: nothing in the simulation reads them back, so they
+cannot perturb determinism (wall-clock time in particular never feeds a
+scheduling decision).
+
+``benchmarks/bench_perf_hotpath.py`` snapshots these counters per run to
+track the per-event cost of the scheduler loop as the cluster grows — the
+F10 scalability story — and writes the trajectory to ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PerfCounters:
+    """Counters for one simulation run's scheduling hot path.
+
+    Attributes:
+        scheduler_passes: Number of scheduling passes executed.
+        sched_pass_wall_s: Total wall-clock seconds spent inside passes
+            (measurement only — never fed back into the simulation).
+        placement_attempts: ``PlacementPolicy.place`` invocations.
+        candidate_scans: Candidate-node scans performed by placement.
+        nodes_examined: Nodes inspected across all candidate scans; divide
+            by ``placement_attempts`` for the per-attempt cost the index
+            layer is meant to keep flat as the cluster grows.
+    """
+
+    scheduler_passes: int = 0
+    sched_pass_wall_s: float = 0.0
+    placement_attempts: int = 0
+    candidate_scans: int = 0
+    nodes_examined: int = 0
+
+    @property
+    def nodes_per_attempt(self) -> float:
+        """Mean nodes examined per placement attempt (0 when none ran)."""
+        if self.placement_attempts == 0:
+            return 0.0
+        return self.nodes_examined / self.placement_attempts
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat snapshot for JSON export."""
+        return {
+            "scheduler_passes": float(self.scheduler_passes),
+            "sched_pass_wall_s": self.sched_pass_wall_s,
+            "placement_attempts": float(self.placement_attempts),
+            "candidate_scans": float(self.candidate_scans),
+            "nodes_examined": float(self.nodes_examined),
+            "nodes_per_attempt": self.nodes_per_attempt,
+        }

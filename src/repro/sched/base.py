@@ -121,6 +121,7 @@ class Scheduler(abc.ABC):
 
     def try_place(self, ctx: ScheduleContext, job: Job) -> dict[NodeId, int] | None:
         """Ask the placement policy for a placement of *job* right now."""
+        ctx.cluster.index.perf.placement_attempts += 1
         return self.placement.place(ctx.cluster, job.request)
 
     def __repr__(self) -> str:

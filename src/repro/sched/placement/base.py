@@ -19,6 +19,7 @@ books track the cluster.
 from __future__ import annotations
 
 import abc
+from typing import Iterator
 
 from ...cluster.cluster import Cluster
 from ...cluster.node import Node
@@ -53,13 +54,43 @@ def node_fits_chunk(node: Node, request: ResourceRequest, chunk: int) -> bool:
     )
 
 
+def iter_candidate_nodes(
+    cluster: Cluster, request: ResourceRequest, chunk: int
+) -> Iterator[Node]:
+    """Lazily yield healthy nodes that can host one chunk, in id order.
+
+    Scans the cluster index's pre-bucketed pools (per-type for typed
+    requests) instead of re-sorting ``cluster.nodes`` per attempt, and
+    yields in the same order the full sorted scan would — so consumers that
+    stop early (first-fit needs only ``len(chunks)`` hits) skip the tail of
+    the cluster entirely without changing any placement decision.
+    """
+    allowed = request.allowed_nodes
+    cpus_needed = request.cpus_per_gpu * chunk
+    memory_needed = request.memory_gb_per_gpu * chunk
+    for node in cluster.index.iter_candidates(request.gpu_type, chunk):
+        if allowed is not None and node.node_id not in allowed:
+            continue
+        if node.can_fit(chunk, cpus_needed, memory_needed):
+            yield node
+
+
 def candidate_nodes(cluster: Cluster, request: ResourceRequest, chunk: int) -> list[Node]:
     """Healthy nodes that can host one chunk, in deterministic id order."""
-    return [
-        node
-        for node_id, node in sorted(cluster.nodes.items())
-        if node_fits_chunk(node, request, chunk)
-    ]
+    return list(iter_candidate_nodes(cluster, request, chunk))
+
+
+def placement_possible(cluster: Cluster, request: ResourceRequest) -> bool:
+    """O(1) necessary condition for placing *request* right now.
+
+    Checks the index's availability histogram: some single GPU type must
+    have ``len(chunks)`` nodes with a chunk's worth of free GPUs.  When it
+    fails, every candidate scan is guaranteed to come up short, so policies
+    bail before examining a single node — the common case on a congested
+    cluster, where most scheduler-pass placement attempts are doomed.
+    """
+    chunks = request_chunks(request)
+    return cluster.index.placement_possible(request.gpu_type, chunks[0], len(chunks))
 
 
 class PlacementPolicy(abc.ABC):
@@ -95,14 +126,14 @@ class PlacementPolicy(abc.ABC):
         if len(ranked_nodes) < len(chunks):
             return None
         if request.gpu_type is None:
-            # Single-type constraint: take the best type that has enough nodes.
+            # Single-type constraint: take the best type that has enough
+            # nodes.  Grouping preserves ranked order, and dict insertion
+            # order is exactly first-occurrence-in-ranking order — no
+            # O(n²) index() re-scan needed to rank the types.
             by_type: dict[str, list[Node]] = {}
             for node in ranked_nodes:
                 by_type.setdefault(node.spec.gpu_type, []).append(node)
-            for gpu_type in sorted(
-                by_type, key=lambda t: ranked_nodes.index(by_type[t][0])
-            ):
-                nodes = by_type[gpu_type]
+            for nodes in by_type.values():
                 if len(nodes) >= len(chunks):
                     return {
                         node.node_id: chunk

@@ -13,7 +13,7 @@ from __future__ import annotations
 from ...cluster.cluster import Cluster
 from ...ids import NodeId
 from ...workload.job import ResourceRequest
-from .base import PlacementPolicy, candidate_nodes, request_chunks
+from .base import PlacementPolicy, candidate_nodes, placement_possible, request_chunks
 
 
 class BestFitPlacement(PlacementPolicy):
@@ -22,6 +22,8 @@ class BestFitPlacement(PlacementPolicy):
     name = "best-fit"
 
     def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        if not placement_possible(cluster, request):
+            return None
         chunk = request_chunks(request)[0]
         candidates = candidate_nodes(cluster, request, chunk)
         ranked = sorted(
@@ -36,6 +38,8 @@ class WorstFitPlacement(PlacementPolicy):
     name = "worst-fit"
 
     def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        if not placement_possible(cluster, request):
+            return None
         chunk = request_chunks(request)[0]
         candidates = candidate_nodes(cluster, request, chunk)
         ranked = sorted(

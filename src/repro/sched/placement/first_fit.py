@@ -3,14 +3,22 @@
 The simplest baseline: fast, deterministic, but fragmentation-blind — small
 jobs land on the emptiest-id nodes and strand partial nodes, which the F8
 placement experiment quantifies against best-fit and buddy-cell allocation.
+
+Because first-fit ranks nodes purely by id, it consumes the candidate scan
+lazily: the scan stops as soon as ``len(chunks)`` fitting nodes are found
+(one, for the typical single-node job), so its per-attempt cost is bounded
+by how far the first fits are, not by cluster size.  Cross-type requests on
+heterogeneous clusters still need the full candidate list to apply the
+single-GPU-type rule, and fall back to the shared ``_assemble`` tail.
 """
 
 from __future__ import annotations
 
 from ...cluster.cluster import Cluster
+from ...cluster.node import Node
 from ...ids import NodeId
 from ...workload.job import ResourceRequest
-from .base import PlacementPolicy, candidate_nodes, request_chunks
+from .base import PlacementPolicy, iter_candidate_nodes, placement_possible, request_chunks
 
 
 class FirstFitPlacement(PlacementPolicy):
@@ -19,6 +27,17 @@ class FirstFitPlacement(PlacementPolicy):
     name = "first-fit"
 
     def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
-        chunk = request_chunks(request)[0]
-        candidates = candidate_nodes(cluster, request, chunk)
-        return self._assemble(cluster, request, candidates)
+        if not placement_possible(cluster, request):
+            return None
+        chunks = request_chunks(request)
+        candidates = iter_candidate_nodes(cluster, request, chunks[0])
+        if request.gpu_type is None and len(cluster.index.gpu_types) > 1:
+            return self._assemble(cluster, request, list(candidates))
+        # Single-typed candidate stream: the first len(chunks) fits ARE the
+        # placement, so stop scanning the moment they are found.
+        taken: list[Node] = []
+        for node in candidates:
+            taken.append(node)
+            if len(taken) == len(chunks):
+                return {node.node_id: chunk for node, chunk in zip(taken, chunks)}
+        return None

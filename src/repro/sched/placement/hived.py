@@ -31,7 +31,12 @@ from ...cluster.node import Node
 from ...errors import PlacementError
 from ...ids import JobId, NodeId
 from ...workload.job import ResourceRequest
-from .base import PlacementPolicy, node_fits_chunk, request_chunks
+from .base import (
+    PlacementPolicy,
+    iter_candidate_nodes,
+    placement_possible,
+    request_chunks,
+)
 
 
 def next_pow2(value: int) -> int:
@@ -155,13 +160,13 @@ class BuddyCellPlacement(PlacementPolicy):
     # -- placement (pure) ---------------------------------------------------------
 
     def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        if not placement_possible(cluster, request):
+            return None
         chunks = request_chunks(request)
         chunk = chunks[0]
         cell_size = next_pow2(chunk)
         ranked: list[tuple[tuple[int, int, str], Node]] = []
-        for node_id, node in sorted(cluster.nodes.items()):
-            if not node_fits_chunk(node, request, chunk):
-                continue
+        for node in iter_candidate_nodes(cluster, request, chunk):
             cells = self._cells_of(node)
             if not cells.can_host(cell_size):
                 continue
@@ -171,7 +176,7 @@ class BuddyCellPlacement(PlacementPolicy):
                 if offsets and size >= cell_size
             )
             # Tightest alignment first, then fullest node, then id.
-            ranked.append(((smallest_adequate, cells.free_gpus(), node_id), node))
+            ranked.append(((smallest_adequate, cells.free_gpus(), node.node_id), node))
         ranked.sort(key=lambda item: item[0])
         return self._assemble(cluster, request, [node for _key, node in ranked])
 

@@ -14,7 +14,7 @@ from ...cluster.cluster import Cluster
 from ...cluster.node import Node
 from ...ids import NodeId, RackId
 from ...workload.job import ResourceRequest
-from .base import PlacementPolicy, candidate_nodes, request_chunks
+from .base import PlacementPolicy, candidate_nodes, placement_possible, request_chunks
 
 
 class TopologyAwarePlacement(PlacementPolicy):
@@ -23,6 +23,8 @@ class TopologyAwarePlacement(PlacementPolicy):
     name = "topology-aware"
 
     def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
+        if not placement_possible(cluster, request):
+            return None
         chunk = request_chunks(request)[0]
         num_chunks = len(request_chunks(request))
         candidates = candidate_nodes(cluster, request, chunk)

@@ -37,6 +37,9 @@ class SimulationEngine:
         self._sequence = 0
         self._handlers: dict[type, Handler] = {}
         self._stopped = False
+        # Pending events by concrete type, so has_pending() is O(#types)
+        # instead of scanning the heap.
+        self._pending_counts: dict[type, int] = {}
 
     # -- configuration ---------------------------------------------------------
 
@@ -56,6 +59,8 @@ class SimulationEngine:
             )
         heapq.heappush(self._heap, (max(time, self.now), priority_of(event), self._sequence, event))
         self._sequence += 1
+        event_type = type(event)
+        self._pending_counts[event_type] = self._pending_counts.get(event_type, 0) + 1
 
     def schedule_in(self, delay: float, event: Event) -> None:
         """Enqueue *event* after *delay* seconds."""
@@ -75,7 +80,10 @@ class SimulationEngine:
 
     def has_pending(self, event_type: type) -> bool:
         """True when any queued event is an instance of *event_type*."""
-        return any(isinstance(entry[3], event_type) for entry in self._heap)
+        return any(
+            count > 0 and issubclass(queued_type, event_type)
+            for queued_type, count in self._pending_counts.items()
+        )
 
     # -- execution -----------------------------------------------------------------
 
@@ -88,6 +96,7 @@ class SimulationEngine:
         if not self._heap:
             return None
         time, _priority, _sequence, event = heapq.heappop(self._heap)
+        self._pending_counts[type(event)] -= 1
         if time < self.now - 1e-9:
             raise EventOrderError(
                 f"event {type(event).__name__} at {time} is in the past (now={self.now})"

@@ -19,16 +19,19 @@ plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time as _time
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..errors import SchedulingError, SimulationError
+from ..errors import ConfigError, SchedulingError, SimulationError
 from ..execlayer.runtime import RuntimeRegistry
 from ..execlayer.speedup import ExecutionModel, UnitExecutionModel
 from ..ids import JobId, NodeId
+from ..perf import PerfCounters
 from ..sched.base import ScheduleContext, Scheduler
+from ..sched.placement.base import request_chunks
 from ..workload.job import FailureCategory, Job, JobState
 from ..workload.trace import Trace
 from .engine import SimulationEngine
@@ -107,6 +110,9 @@ class SimulationResult:
     end_time: float
     events_processed: int
     timeline: list["TimelineEvent"] = field(default_factory=list)
+    #: Hot-path counters (wall time, nodes examined).  Observational only:
+    #: excluded from summary() so results stay byte-identical across runs.
+    perf: PerfCounters = field(default_factory=PerfCounters)
 
     def summary(self) -> dict[str, float]:
         row = self.metrics.as_row()
@@ -144,6 +150,13 @@ class ClusterSimulator:
         self._wall_used: dict[JobId, float] = {}  # cumulative running wall time
         self.timeline: list[TimelineEvent] = []
         self._tick_pending = False
+        # Static-feasibility verdicts per distinct request shape: node specs
+        # never change mid-run, so the answer is a pure function of the shape.
+        self._feasibility_cache: dict[tuple, bool] = {}
+        # Fresh counters per run, shared with the cluster index so the
+        # placement layer accounts into the same struct.
+        self.perf = PerfCounters()
+        cluster.index.perf = self.perf
         self._failure_injector: FailureInjector | None = None
         if failure_config is not None:
             self._failure_injector = FailureInjector(failure_config, self.rng)
@@ -152,6 +165,10 @@ class ClusterSimulator:
             if job.job_id in self.jobs:
                 raise SimulationError(f"duplicate job id {job.job_id} in trace")
             self.jobs[job.job_id] = job
+        # Live-job counter: non-terminal jobs among everything submitted.
+        # Kept in sync at every terminal transition so _work_remains() is
+        # O(1) instead of scanning the whole job population per event.
+        self._live_jobs = sum(1 for job in self.jobs.values() if not job.state.terminal)
 
         engine = self.engine
         engine.register(JobArrival, self._on_arrival)
@@ -189,6 +206,8 @@ class ClusterSimulator:
                 f"(now={self.engine.now})"
             )
         self.jobs[job.job_id] = job
+        if not job.state.terminal:
+            self._live_jobs += 1
         self.engine.schedule_at(job.submit_time, JobArrival(job.job_id))
         if self.config.sample_interval_s > 0 and not self.engine.has_pending(MetricsSample):
             self.engine.schedule_at(self.engine.now, MetricsSample())
@@ -209,6 +228,7 @@ class ClusterSimulator:
         else:
             self.scheduler.remove(job_id)
         job.kill(now)
+        self._note_terminal(job)
         self._record(now, "kill", job.job_id, "user")
         self.scheduler.notify_finish(job, now)
         self._request_tick(now)
@@ -228,6 +248,7 @@ class ClusterSimulator:
             end_time=now,
             events_processed=self.engine.events_processed,
             timeline=self.timeline,
+            perf=self.perf,
         )
 
     # -- event handlers --------------------------------------------------------------
@@ -240,6 +261,7 @@ class ClusterSimulator:
         job = self.jobs[event.job_id]
         if not self._admit_partition(job) or not self._statically_feasible(job):
             job.kill(now)
+            self._note_terminal(job)
             self.metrics.rejected_jobs += 1
             self._record(now, "reject", job.job_id)
             return
@@ -256,10 +278,6 @@ class ClusterSimulator:
         """
         if job.partition is None:
             return True
-        from dataclasses import replace
-
-        from ..errors import ConfigError
-
         try:
             partition = self.cluster.partitions.get(job.partition)
         except ConfigError:
@@ -288,7 +306,10 @@ class ClusterSimulator:
             start_job=lambda job, placement: self._start_job(now, job, placement),
             preempt_job=lambda job: self._preempt_job(now, job),
         )
+        started = _time.perf_counter()
         self.scheduler.schedule(ctx)
+        self.perf.sched_pass_wall_s += _time.perf_counter() - started
+        self.perf.scheduler_passes += 1
         self.metrics.scheduler_passes += 1
         self._maybe_verify()
 
@@ -309,6 +330,7 @@ class ClusterSimulator:
         else:
             job.complete(now)
             self._record(now, "complete", job.job_id)
+        self._note_terminal(job)
         self.scheduler.notify_finish(job, now)
         self._request_tick(now)
         self._maybe_verify()
@@ -334,6 +356,7 @@ class ClusterSimulator:
             max_restarts = injector.config.max_job_restarts if injector else 0
             if job.attempts > max_restarts:
                 job.fail(now, FailureCategory.HARDWARE)
+                self._note_terminal(job)
                 self._record(now, "fail", job.job_id, "hardware")
                 self.scheduler.notify_finish(job, now)
             else:
@@ -453,6 +476,7 @@ class ClusterSimulator:
         limit = self.config.max_job_preemptions
         if limit and job.preemptions > limit:
             job.fail(now, FailureCategory.PREEMPTION_LIMIT)
+            self._note_terminal(job)
             self.scheduler.notify_finish(job, now)
             return
         self.scheduler.enqueue(job, now)
@@ -476,23 +500,44 @@ class ClusterSimulator:
             self._tick_pending = True
             self.engine.schedule_at(now, SchedulerTick())
 
+    def _note_terminal(self, job: Job) -> None:
+        """Account one job's transition into a terminal state (O(1))."""
+        self._live_jobs -= 1
+        if self._live_jobs < 0:
+            raise SimulationError(
+                f"live-job counter went negative at {job.job_id}; "
+                "a terminal transition was double-counted"
+            )
+
     def _work_remains(self) -> bool:
-        return bool(self.running) or self.scheduler.queue_depth > 0 or any(
-            not job.state.terminal for job in self.jobs.values()
-        )
+        return self._live_jobs > 0
 
     def _statically_feasible(self, job: Job) -> bool:
-        """Could this request EVER be satisfied on an empty, healthy cluster?"""
-        from ..sched.placement.base import request_chunks
+        """Could this request EVER be satisfied on an empty, healthy cluster?
 
-        chunks = request_chunks(job.request)
-        chunk = chunks[0]
+        The verdict depends only on static node specs and the request
+        *shape*, so it is memoized per distinct shape — arrival processing
+        does the O(cluster) spec scan once per shape instead of once per
+        job.
+        """
         request = job.request
+        chunks = request_chunks(request)
+        chunk = chunks[0]
+        key = (
+            request.gpu_type,
+            chunk,
+            len(chunks),
+            request.cpus_per_gpu,
+            request.memory_gb_per_gpu,
+            request.allowed_nodes,
+        )
+        cached = self._feasibility_cache.get(key)
+        if cached is not None:
+            return cached
         by_type: dict[str, int] = {}
-        for node in self.cluster.nodes.values():
+        feasible = False
+        for node in self.cluster.index.candidate_pool(request.gpu_type):
             spec = node.spec
-            if request.gpu_type is not None and spec.gpu_type != request.gpu_type:
-                continue
             if request.allowed_nodes is not None and node.node_id not in request.allowed_nodes:
                 continue
             if spec.num_gpus < chunk:
@@ -501,8 +546,13 @@ class ClusterSimulator:
                 continue
             if spec.memory_gb < request.memory_gb_per_gpu * chunk:
                 continue
-            by_type[spec.gpu_type] = by_type.get(spec.gpu_type, 0) + 1
-        return any(count >= len(chunks) for count in by_type.values())
+            count = by_type.get(spec.gpu_type, 0) + 1
+            if count >= len(chunks):
+                feasible = True
+                break
+            by_type[spec.gpu_type] = count
+        self._feasibility_cache[key] = feasible
+        return feasible
 
     def _maybe_verify(self) -> None:
         every = self.config.verify_every

@@ -1,0 +1,151 @@
+"""Unit tests for the incremental cluster-state index.
+
+The index's contract: after any sequence of ``allocate`` / ``free`` /
+``fail_node`` / ``repair_node`` through the :class:`Cluster`, every O(1)
+aggregate and histogram bucket equals what a full node scan would produce
+(checked by ``verify_invariants``), and candidate pools preserve the exact
+id order a ``sorted(cluster.nodes.items())`` scan would yield.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import build_tacc_cluster, uniform_cluster
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def cluster():
+    return build_tacc_cluster()  # 24 nodes, 176 GPUs, 4 GPU types
+
+
+def test_initial_aggregates_match_scan(cluster):
+    index = cluster.index
+    assert index.total_gpus == 176
+    assert index.healthy_gpus == 176
+    assert index.used_gpus == 0
+    assert index.free_healthy_gpus == 176
+    assert index.free_gpus_of_type("v100") == 80
+    assert index.free_gpus_of_type("nope") == 0
+    cluster.verify_invariants()
+
+
+def test_pools_preserve_sorted_id_order(cluster):
+    index = cluster.index
+    assert [n.node_id for n in index.nodes_sorted] == sorted(cluster.nodes)
+    for gpu_type in index.gpu_types:
+        pool_ids = [n.node_id for n in index.nodes_of_type(gpu_type)]
+        expected = sorted(
+            node_id
+            for node_id, node in cluster.nodes.items()
+            if node.spec.gpu_type == gpu_type
+        )
+        assert pool_ids == expected
+    assert index.candidate_pool(None) is index.nodes_sorted
+
+
+def test_allocate_free_cycle_updates_counters(cluster):
+    index = cluster.index
+    cluster.allocate("job-1", {"v100-000": 8, "v100-001": 8})
+    assert index.used_gpus == 16
+    assert index.free_healthy_gpus == 160
+    assert index.free_gpus_of_type("v100") == 64
+    # Histogram: two 8-GPU nodes became full.
+    assert index.nodes_with_free("v100", 8) == 8
+    assert index.nodes_with_free("v100", 1) == 8
+    cluster.verify_invariants()
+
+    cluster.allocate("job-2", {"v100-002": 3})
+    assert index.nodes_with_free("v100", 8) == 7
+    assert index.nodes_with_free("v100", 5) == 8  # the 3-used node still has 5
+    cluster.verify_invariants()
+
+    cluster.free("job-1")
+    cluster.free("job-2")
+    assert index.used_gpus == 0
+    assert index.free_healthy_gpus == 176
+    assert index.nodes_with_free("v100", 8) == 10
+    cluster.verify_invariants()
+
+
+def test_failed_allocation_rolls_back_index(cluster):
+    index = cluster.index
+    cluster.allocate("hog", {"v100-000": 8})
+    with pytest.raises(AllocationError):
+        # Second node in the placement is already full -> atomic rollback.
+        cluster.allocate("doomed", {"v100-001": 8, "v100-000": 1})
+    assert index.used_gpus == 8
+    assert index.free_gpus_of_type("v100") == 72
+    cluster.verify_invariants()
+
+
+def test_fail_repair_transitions(cluster):
+    index = cluster.index
+    cluster.allocate("job-1", {"a100-80-000": 4})
+    cluster.fail_node("a100-80-000")
+    assert index.healthy_gpus == 168
+    assert index.free_gpus_of_type("a100-80") == 24
+    # Books survive failure: the 4 GPUs stay "used" until the job is freed.
+    assert index.used_gpus == 4
+    cluster.verify_invariants()
+
+    # Freeing on a failed node must NOT return GPUs to the schedulable pool.
+    cluster.free("job-1")
+    assert index.used_gpus == 0
+    assert index.free_gpus_of_type("a100-80") == 24
+    cluster.verify_invariants()
+
+    cluster.repair_node("a100-80-000")
+    assert index.healthy_gpus == 176
+    assert index.free_gpus_of_type("a100-80") == 32
+    cluster.verify_invariants()
+
+    # Idempotent repeats must not double-count.
+    cluster.repair_node("a100-80-000")
+    cluster.fail_node("a100-80-000")
+    cluster.fail_node("a100-80-000")
+    assert index.healthy_gpus == 168
+    cluster.verify_invariants()
+
+
+def test_placement_possible(cluster):
+    index = cluster.index
+    assert index.placement_possible("v100", 8, 10)
+    assert not index.placement_possible("v100", 8, 11)  # only 10 v100 nodes
+    assert not index.placement_possible("rtx2080ti", 8, 1)  # 4-GPU nodes
+    assert index.placement_possible(None, 8, 10)
+    assert not index.placement_possible(None, 8, 11)
+    assert not index.placement_possible("nope", 1, 1)
+
+    # Saturate the v100 pool and re-ask.
+    for i in range(10):
+        cluster.allocate(f"hog-{i}", {f"v100-{i:03d}": 8})
+    assert not index.placement_possible("v100", 1, 1)
+    assert index.placement_possible(None, 8, 4)  # a100 nodes still free
+    cluster.verify_invariants()
+
+
+def test_verify_detects_drift(cluster):
+    # Mutating a node behind the cluster's back is exactly the bug class
+    # verify() exists to catch.
+    cluster.nodes["v100-000"].allocate("rogue", gpus=2, cpus=0, memory_gb=0.0)
+    with pytest.raises(AllocationError, match="drifted"):
+        cluster.verify_invariants()
+
+
+def test_iter_candidates_accounts_perf():
+    cluster = uniform_cluster(4, gpus_per_node=8)
+    perf = cluster.index.perf
+    # Early-stopping consumer still records the nodes it was handed.
+    iterator = cluster.index.iter_candidates("v100", 1)
+    next(iterator)
+    next(iterator)
+    iterator.close()
+    assert perf.candidate_scans == 1
+    assert perf.nodes_examined == 2
+
+    # Impossible chunk: the scan is rejected without touching any node.
+    assert list(cluster.index.iter_candidates("v100", 9)) == []
+    assert perf.candidate_scans == 2
+    assert perf.nodes_examined == 2

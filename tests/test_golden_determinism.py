@@ -1,0 +1,93 @@
+"""Golden determinism: scheduler metrics are bit-stable across refactors.
+
+Runs a 7-day tacc-campus trace (seed 0, full scale) under three schedulers
+and compares ``SimulationResult.summary()`` against values captured before
+the incremental cluster-state index landed.  Every float must match
+*exactly* — the index, candidate iterators, and availability-histogram
+short-circuits are pure reorganisations of the same scan, so any drift
+here means a placement or event-ordering decision changed, not just a
+performance characteristic.
+
+Future perf PRs get the same guarantee for free: if an "optimisation"
+alters any of these numbers, it changed scheduling behaviour and must
+either be fixed or re-justify the new goldens explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.common import campus_trace, fresh_trace_copy, run_policy
+from repro.sched import QuotaConfig, TieredQuotaScheduler, make_scheduler
+
+# summary() values captured at seed 0 on the pre-index implementation.
+GOLDEN = {
+    "fifo": {
+        "completed": 726.0,
+        "avg_jct_h": 243.48548486966183,
+        "p50_jct_h": 50.72664925374768,
+        "p99_jct_h": 527.9613764532614,
+        "avg_wait_h": 232.28985117233697,
+        "p99_wait_h": 513.4734922709387,
+        "utilization": 0.2211141443030602,
+        "makespan_h": 871.6697407354495,
+        "preemptions": 0.0,
+        "events": 5002.0,
+    },
+    "backfill-easy": {
+        "completed": 726.0,
+        "avg_jct_h": 3.920670042820442,
+        "p50_jct_h": 0.309782682398532,
+        "p99_jct_h": 30.804651491198257,
+        "avg_wait_h": 1.798232641750184,
+        "p99_wait_h": 13.653654219904126,
+        "utilization": 0.27935333704646426,
+        "makespan_h": 611.6440477827103,
+        "preemptions": 0.0,
+        "events": 4482.0,
+    },
+    "tiered-quota": {
+        "completed": 726.0,
+        "avg_jct_h": 3.672407025585526,
+        "p50_jct_h": 0.21944260430880402,
+        "p99_jct_h": 36.981828813866095,
+        "avg_wait_h": 1.389340259955552,
+        "p99_wait_h": 3.910882024500573,
+        "utilization": 0.2854302428168489,
+        "makespan_h": 611.6440477827103,
+        "preemptions": 9.0,
+        "events": 4491.0,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    trace = campus_trace(0, 1.0, days=7.0)
+    assert len(trace) == 816
+    return trace
+
+
+def _make(name: str, trace):
+    if name == "tiered-quota":
+        quota = QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.6)
+        return TieredQuotaScheduler(quota)
+    return make_scheduler(name)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_summary_matches_golden_exactly(name, golden_trace):
+    scheduler = _make(name, golden_trace)
+    result = run_policy(scheduler, fresh_trace_copy(golden_trace))
+    summary = result.summary()
+    expected = GOLDEN[name]
+    assert set(summary) == set(expected)
+    for key, want in expected.items():
+        got = summary[key]
+        if isinstance(want, float) and math.isnan(want):
+            assert math.isnan(got), f"{name}.{key}: expected NaN, got {got!r}"
+        else:
+            # Exact — not approx — equality: bitwise determinism is the contract.
+            assert got == want, f"{name}.{key}: {got!r} != golden {want!r}"
