@@ -1,0 +1,16 @@
+"""Benchmark: regenerate S1 — Serving SLO attainment vs offered load.
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_s1_serving_slo(experiment_runner):
+    result = experiment_runner("S1")
+    assert result.rows and result.series
+    # Harvesting must dominate the fixed fleet at the top of the sweep.
+    top = max(row["load_x"] for row in result.rows)
+    by_arm = {(row["load_x"], row["arm"]): row for row in result.rows}
+    assert (
+        by_arm[(top, "autoscaled")]["slo_attainment"]
+        >= by_arm[(top, "fixed")]["slo_attainment"]
+    )

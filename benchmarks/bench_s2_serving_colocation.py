@@ -1,0 +1,11 @@
+"""Benchmark: regenerate S2 — Training-tier impact of co-located serving.
+
+Run with higher fidelity via ``--repro-scale 1.0``.
+"""
+
+
+def test_s2_serving_colocation(experiment_runner):
+    result = experiment_runner("S2")
+    assert result.rows
+    arms = {row["arm"] for row in result.rows}
+    assert arms == {"training-only", "co-located"}

@@ -23,6 +23,7 @@ from .characterization import (
 )
 from .common import ExperimentResult, ExperimentSpec
 from .quota_placement import run_f7_quota_tiers, run_f8_placement, run_t5_fairness
+from .serving import run_s1_serving_slo, run_s2_serving_colocation
 from .scheduling import (
     run_f4_utilization,
     run_f5_queueing,
@@ -103,6 +104,14 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "T5", "Fairness across labs", "table", run_t5_fairness,
             "Jain index per scheduler plus per-lab quota adherence.",
+        ),
+        ExperimentSpec(
+            "S1", "Serving SLO vs offered load", "table", run_s1_serving_slo,
+            "SLO attainment and goodput as request load grows: autoscaled harvesting vs a fixed baseline fleet.",
+        ),
+        ExperimentSpec(
+            "S2", "Serving co-location impact", "table", run_s2_serving_colocation,
+            "Training-tier waits and preemptions with and without a co-located autoscaled serving fleet.",
         ),
         ExperimentSpec(
             "A1", "Estimate-quality ablation", "table", run_a1_estimate_quality,

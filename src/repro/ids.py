@@ -18,6 +18,7 @@ UserId = str
 LabId = str
 RackId = str
 PartitionId = str
+ServiceId = str
 
 
 class IdFactory:

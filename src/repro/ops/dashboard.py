@@ -107,6 +107,22 @@ def run_report(result: SimulationResult, top_n: int = 5) -> str:
     if failures:
         out.write(f"failure taxonomy: {failures}\n")
 
+    serving = metrics.serving
+    if serving is not None:
+        out.write(
+            f"serving: {serving.services} services, "
+            f"{serving.offered_requests / 1e6:.1f}M requests offered, "
+            f"SLO attainment {serving.slo_attainment:.1%}, "
+            f"goodput {serving.goodput_rps:,.0f} req/s\n"
+        )
+        out.write(
+            f"serving capacity: {serving.baseline_gpu_hours:,.0f} baseline GPU-h + "
+            f"{serving.harvested_gpu_hours:,.0f} harvested GPU-h "
+            f"({serving.replica_launches} replica launches, "
+            f"{serving.replica_preemptions} preempted, "
+            f"{serving.scale_up_events}↑/{serving.scale_down_events}↓ scalings)\n"
+        )
+
     hours = gpu_hours_by_entity(result.jobs, "user_id")
     top = sorted(hours.items(), key=lambda item: -item[1])[:top_n]
     if top:

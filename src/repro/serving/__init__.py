@@ -1,0 +1,55 @@
+"""Inference-serving subsystem: SLO-driven services on the shared cluster.
+
+Training jobs finish; inference services *run*.  This package models the
+other half of a campus cluster's load: long-running replicated services
+with diurnal request curves, an M/M/c request-latency model grounded in
+the execution layer's iteration times, and an SLO-driven autoscaler whose
+surge replicas harvest idle GPUs as preemptible opportunistic jobs —
+capacity that training's guaranteed tier can always reclaim.
+
+Layering:
+
+* :mod:`~repro.serving.latency` — pure M/M/c queueing math (Erlang C,
+  latency quantiles, SLO attainment, minimum fleet sizing);
+* :mod:`~repro.serving.demand` — diurnal NHPP request-rate curves, the
+  serving twin of :mod:`repro.workload.synth`;
+* :mod:`~repro.serving.service` — service specs, replica roles, live state;
+* :mod:`~repro.serving.autoscaler` — target sizing + scale-down hysteresis;
+* :mod:`~repro.serving.fleet` — the coordinator wired into
+  :class:`~repro.sim.simulator.ClusterSimulator`.
+"""
+
+from .autoscaler import AutoscalerConfig, SloAutoscaler
+from .demand import (
+    SERVING_DIURNAL,
+    RateCurve,
+    ServiceLoadConfig,
+    synthesize_rate_curve,
+)
+from .fleet import ServingFleet, ServingWorkload
+from .latency import (
+    erlang_c,
+    latency_quantile,
+    min_replicas_for_slo,
+    slo_attainment,
+)
+from .service import Replica, ReplicaRole, ServiceJob, ServiceSpec
+
+__all__ = [
+    "SERVING_DIURNAL",
+    "AutoscalerConfig",
+    "RateCurve",
+    "Replica",
+    "ReplicaRole",
+    "ServiceJob",
+    "ServiceLoadConfig",
+    "ServiceSpec",
+    "ServingFleet",
+    "ServingWorkload",
+    "SloAutoscaler",
+    "erlang_c",
+    "latency_quantile",
+    "min_replicas_for_slo",
+    "slo_attainment",
+    "synthesize_rate_curve",
+]

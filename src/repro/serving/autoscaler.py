@@ -1,0 +1,106 @@
+"""SLO-driven replica autoscaler.
+
+At every rate epoch the autoscaler sizes each service's fleet to the
+smallest replica count whose modelled p-quantile latency (M/M/c, nominal
+per-replica rate) meets the SLO at ``headroom ×`` the new offered rate.
+Scaling *up* is immediate — an under-provisioned epoch burns SLO budget
+right now — while scaling *down* waits for ``scale_down_hold_epochs``
+consecutive epochs below target, so a single noisy trough doesn't shed
+capacity the evening peak needs back.
+
+The autoscaler only ever decides a **target**; the fleet maps the delta
+onto replica roles (baseline deficit first, surge for the rest) and the
+ordinary scheduler decides whether the cluster can actually host the surge
+— surge replicas queue opportunistically like any free-tier job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .latency import min_replicas_for_slo
+from .service import ServiceJob
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Autoscaling knobs shared by all services of a fleet.
+
+    Attributes:
+        enabled: When False the fleet never leaves its baseline size
+            (the fixed-replica comparison arm of experiment S1).
+        quantile: Latency quantile the SLO constrains (p99 by default).
+        headroom: Provisioning margin on the offered rate; >1 absorbs
+            within-epoch noise the piecewise-constant model hides.
+        scale_down_hold_epochs: Consecutive below-target epochs required
+            before surge capacity is released.
+    """
+
+    enabled: bool = True
+    quantile: float = 0.99
+    headroom: float = 1.15
+    scale_down_hold_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ConfigError(f"quantile must be in (0, 1), got {self.quantile}")
+        if self.headroom < 1.0:
+            raise ConfigError(f"headroom must be >= 1, got {self.headroom}")
+        if self.scale_down_hold_epochs < 0:
+            raise ConfigError("scale_down_hold_epochs must be >= 0")
+
+
+class SloAutoscaler:
+    """Pure sizing logic: (service, new rate) → replica delta."""
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+
+    def target_replicas(self, service: ServiceJob, rate_rps: float) -> int:
+        """Smallest fleet meeting the SLO at the planned rate, clamped.
+
+        Planning uses the spec's nominal per-replica rate (requested GPU
+        type, ideal placement); replicas that land on slower hardware serve
+        less, which shows up as attainment shortfall, not a planning input
+        — mirroring how real autoscalers plan on nameplate capacity.
+        """
+        spec = service.spec
+        if not self.config.enabled:
+            return spec.base_replicas
+        if rate_rps <= 0:
+            return spec.base_replicas
+        needed = min_replicas_for_slo(
+            rate_rps * self.config.headroom,
+            spec.reference_rate_rps(),
+            spec.slo_p99_s,
+            quantile=self.config.quantile,
+            max_replicas=spec.max_replicas,
+        )
+        if needed is None:
+            return spec.max_replicas  # best effort: saturate the ceiling
+        return max(spec.base_replicas, min(spec.max_replicas, needed))
+
+    def decide(self, service: ServiceJob, rate_rps: float) -> int:
+        """Replica delta for the new epoch (positive = scale up).
+
+        Mutates the service's hysteresis counter; call exactly once per
+        rate epoch.  A zero rate (horizon close) releases surge capacity
+        immediately — there is no peak left to hold it for.
+        """
+        target = self.target_replicas(service, rate_rps)
+        live = len(service.live_replicas())
+        if target > live:
+            service.epochs_below_target = 0
+            return target - live
+        if target < live:
+            if rate_rps <= 0:
+                service.epochs_below_target = 0
+                return target - live
+            service.epochs_below_target += 1
+            if service.epochs_below_target >= self.config.scale_down_hold_epochs:
+                service.epochs_below_target = 0
+                return target - live
+            return 0
+        service.epochs_below_target = 0
+        return 0

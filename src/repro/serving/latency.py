@@ -1,0 +1,134 @@
+"""Request-level latency model: M/M/c queueing on top of the execution layer.
+
+A replica's service rate comes from the same per-iteration model that
+drives training slowdowns (:meth:`repro.execlayer.speedup.ExecutionModel.
+iteration_time_s`): one inference iteration serves ``batch_requests``
+requests, so a replica on a slower GPU generation or a spread-out placement
+serves fewer requests per second, exactly as a training job on the same
+placement makes less progress per second.
+
+On top of that per-replica rate the fleet is modelled as an M/M/c queue —
+Poisson arrivals at the epoch's offered rate, ``c`` running replicas, a
+shared queue.  We use the standard Erlang-C machinery with the classic
+waiting-tail approximation ``P(W_q > t) = C(c, a) · e^{-(cμ-λ)t}`` and
+treat response time as queueing wait plus one mean service time.  That is
+deliberately a *model*, not a packet-level simulation: at millions of
+requests/day per service, request-level events would dwarf the cluster
+trace by orders of magnitude, while the M/M/c integrals give the same
+epoch-level goodput/SLO numbers in O(1) per capacity change.
+
+All functions are pure and deterministic; the fleet integrates them over
+piecewise-constant (rate, capacity) epochs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ValidationError
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arriving request must queue.
+
+    ``offered_load`` is a = λ/μ in erlangs.  Computed via the numerically
+    stable Erlang-B recurrence (no factorials), valid for a < servers.
+    """
+    if servers <= 0:
+        raise ValidationError(f"erlang_c needs at least one server, got {servers}")
+    if offered_load < 0:
+        raise ValidationError(f"offered load must be non-negative, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0  # unstable: every arrival queues
+    blocking = 1.0  # Erlang-B with 0 servers
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+def latency_quantile(
+    rate_rps: float, mu_rps: float, replicas: int, quantile: float = 0.99
+) -> float:
+    """The *quantile* response latency (seconds) of an M/M/c fleet.
+
+    Response = queueing wait + mean service time; the wait tail is
+    ``P(W_q > t) = C · e^{-(cμ-λ)t}``.  Returns ``inf`` when the fleet has
+    no capacity or is saturated (λ ≥ cμ) — the queue then grows without
+    bound and no finite latency target is attainable.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValidationError(f"quantile must be in (0, 1), got {quantile}")
+    if mu_rps <= 0:
+        raise ValidationError(f"per-replica service rate must be positive, got {mu_rps}")
+    if rate_rps < 0:
+        raise ValidationError(f"request rate must be non-negative, got {rate_rps}")
+    if replicas <= 0:
+        return math.inf
+    service_s = 1.0 / mu_rps
+    if rate_rps == 0:
+        return service_s
+    capacity = replicas * mu_rps
+    if rate_rps >= capacity:
+        return math.inf
+    queue_prob = erlang_c(replicas, rate_rps / mu_rps)
+    tail = 1.0 - quantile
+    if queue_prob <= tail:
+        return service_s  # the quantile request never queues
+    wait = math.log(queue_prob / tail) / (capacity - rate_rps)
+    return service_s + wait
+
+
+def slo_attainment(
+    rate_rps: float, mu_rps: float, replicas: int, slo_s: float
+) -> float:
+    """Fraction of offered requests answered within ``slo_s`` seconds.
+
+    Saturated fleets (λ ≥ cμ) attain 0: the backlog grows without bound,
+    so steady-state latency exceeds any finite SLO.  A fleet whose bare
+    service time already exceeds the SLO likewise attains 0.
+    """
+    if slo_s <= 0:
+        raise ValidationError(f"SLO must be positive, got {slo_s}")
+    if mu_rps <= 0:
+        raise ValidationError(f"per-replica service rate must be positive, got {mu_rps}")
+    if replicas <= 0:
+        return 0.0
+    service_s = 1.0 / mu_rps
+    if slo_s < service_s:
+        return 0.0
+    if rate_rps == 0:
+        return 1.0
+    capacity = replicas * mu_rps
+    if rate_rps >= capacity:
+        return 0.0
+    queue_prob = erlang_c(replicas, rate_rps / mu_rps)
+    missed = queue_prob * math.exp(-(capacity - rate_rps) * (slo_s - service_s))
+    return max(0.0, min(1.0, 1.0 - missed))
+
+
+def min_replicas_for_slo(
+    rate_rps: float,
+    mu_rps: float,
+    slo_s: float,
+    quantile: float = 0.99,
+    max_replicas: int = 1024,
+) -> int | None:
+    """Smallest replica count whose *quantile* latency meets the SLO.
+
+    Returns ``None`` when even ``max_replicas`` cannot meet it (e.g. the
+    bare service time exceeds the SLO).  Latency quantiles are monotone
+    non-increasing in the replica count, so the first hit is the minimum.
+    """
+    if mu_rps <= 0:
+        raise ValidationError(f"per-replica service rate must be positive, got {mu_rps}")
+    if 1.0 / mu_rps > slo_s:
+        return None
+    # Stability floor: need λ < cμ strictly before quantiles are finite.
+    floor = max(1, int(math.floor(rate_rps / mu_rps)) + 1) if rate_rps > 0 else 1
+    for replicas in range(floor, max_replicas + 1):
+        if latency_quantile(rate_rps, mu_rps, replicas, quantile) <= slo_s:
+            return replicas
+    return None

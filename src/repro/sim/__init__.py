@@ -9,11 +9,21 @@ from .events import (
     NodeFailure,
     NodeRepair,
     QuantumExpiry,
+    RequestRateChange,
     SchedulerTick,
+    ServiceScaleDown,
+    ServiceScaleUp,
     priority_of,
 )
 from .failures import FailureConfig, FailureInjector
-from .metrics import MetricsCollector, Sample, SimMetrics, percentiles, summarize
+from .metrics import (
+    MetricsCollector,
+    Sample,
+    ServingMetrics,
+    SimMetrics,
+    percentiles,
+    summarize,
+)
 from .simulator import ClusterSimulator, SimConfig, SimulationResult, simulate
 
 __all__ = [
@@ -28,8 +38,12 @@ __all__ = [
     "NodeFailure",
     "NodeRepair",
     "QuantumExpiry",
+    "RequestRateChange",
     "Sample",
     "SchedulerTick",
+    "ServiceScaleDown",
+    "ServiceScaleUp",
+    "ServingMetrics",
     "SimConfig",
     "SimMetrics",
     "SimulationEngine",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..ids import JobId, NodeId
+from ..ids import JobId, NodeId, ServiceId
 
 
 @dataclass(frozen=True)
@@ -77,16 +77,52 @@ class MetricsSample(Event):
     """Periodic utilization/queue-depth sampling."""
 
 
+@dataclass(frozen=True)
+class RequestRateChange(Event):
+    """An inference service's offered request rate moves to a new level.
+
+    The serving fleet closes the accounting epoch that ends here (served
+    requests, SLO attainment under the capacity that was live) and then
+    consults the autoscaler against the new rate.
+    """
+
+    service_id: ServiceId
+    rate_rps: float
+
+
+@dataclass(frozen=True)
+class ServiceScaleDown(Event):
+    """The autoscaler retires surge replicas of a service."""
+
+    service_id: ServiceId
+    count: int
+
+
+@dataclass(frozen=True)
+class ServiceScaleUp(Event):
+    """The autoscaler launches additional replicas of a service."""
+
+    service_id: ServiceId
+    count: int
+
+
 #: Event-class dispatch priority at equal timestamps (lower runs first).
+#: Serving events sit between arrivals and the scheduling pass: rate
+#: changes land first (they decide scaling), scale-downs free capacity
+#: before scale-ups ask for it, and the SchedulerTick that places the new
+#: replica jobs runs after all of them.
 PRIORITY: dict[type, int] = {
     JobFinish: 0,
     StageComplete: 1,
     NodeRepair: 2,
     NodeFailure: 3,
     JobArrival: 4,
-    QuantumExpiry: 5,
-    SchedulerTick: 6,
-    MetricsSample: 7,
+    RequestRateChange: 5,
+    ServiceScaleDown: 6,
+    ServiceScaleUp: 7,
+    QuantumExpiry: 8,
+    SchedulerTick: 9,
+    MetricsSample: 10,
 }
 
 

@@ -88,6 +88,43 @@ class MetricsCollector:
 
 
 @dataclass(frozen=True)
+class ServingMetrics:
+    """Final aggregates of the inference-serving subsystem (one run).
+
+    Request counts are expectations integrated from the offered-rate
+    curve through the M/M/c capacity model — exact under the model, not
+    sampled.  ``slo_attainment`` is the SLO-goodput ratio: requests
+    answered within their service's SLO divided by requests offered.
+    ``harvested_gpu_hours`` is capacity served by surge (opportunistic,
+    preemptible) replicas — idle GPUs monetised for serving the same way
+    the free tier monetises them for training.
+    """
+
+    services: int
+    offered_requests: float
+    served_requests: float
+    slo_attained_requests: float
+    slo_attainment: float
+    goodput_rps: float
+    baseline_gpu_hours: float
+    harvested_gpu_hours: float
+    replica_launches: int
+    replica_preemptions: int
+    scale_up_events: int
+    scale_down_events: int
+    per_service: dict[str, dict[str, float]]
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "offered_mreq": self.offered_requests / 1e6,
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+            "harvested_gpu_h": self.harvested_gpu_hours,
+            "serving_preemptions": float(self.replica_preemptions),
+        }
+
+
+@dataclass(frozen=True)
 class SimMetrics:
     """Final aggregates of one simulation run."""
 
@@ -115,10 +152,13 @@ class SimMetrics:
     failure_taxonomy: dict[str, int]
     gpu_hours_by_lab: dict[str, float]
     scheduler_passes: int
+    #: Inference-serving aggregates; ``None`` for training-only runs, so
+    #: their summaries (and the golden tests pinning them) are unchanged.
+    serving: ServingMetrics | None = None
 
     def as_row(self) -> dict[str, float]:
         """Flat row for the T2 scheduler-comparison table."""
-        return {
+        row = {
             "completed": float(self.jobs_completed),
             "avg_jct_h": self.jct_mean_s / 3600.0,
             "p50_jct_h": self.jct_percentiles["p50"] / 3600.0,
@@ -129,15 +169,27 @@ class SimMetrics:
             "makespan_h": self.makespan_s / 3600.0,
             "preemptions": float(self.preemptions),
         }
+        if self.serving is not None:
+            row.update(self.serving.as_row())
+        return row
 
 
 def summarize(
     jobs: dict[str, Job],
     collector: MetricsCollector,
     now: float,
+    serving: ServingMetrics | None = None,
 ) -> SimMetrics:
-    """Aggregate a finished (or truncated) run into :class:`SimMetrics`."""
-    population = list(jobs.values())
+    """Aggregate a finished (or truncated) run into :class:`SimMetrics`.
+
+    Service replicas (``job.service_id`` set) are excluded from the
+    job-level population: their latency story is request latency, carried
+    by *serving*, and a fleet of horizon-long replica "jobs" would drown
+    the training JCT/wait distributions the paper's tables report.
+    Cluster-level integrals (utilization, served GPU-hours) still include
+    them — serving capacity is real capacity.
+    """
+    population = [job for job in jobs.values() if job.service_id is None]
     completed = [j for j in population if j.state is JobState.COMPLETED]
     failed = [j for j in population if j.state is JobState.FAILED]
     killed = [j for j in population if j.state is JobState.KILLED]
@@ -196,4 +248,5 @@ def summarize(
         failure_taxonomy=taxonomy,
         gpu_hours_by_lab=dict(sorted(gpu_hours_by_lab.items())),
         scheduler_passes=collector.scheduler_passes,
+        serving=serving,
     )

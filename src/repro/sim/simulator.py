@@ -61,6 +61,11 @@ class SimConfig:
             is charged at the start of every attempt.
         verify_every: Audit cluster invariants every N events (0 = off;
             tests use small values, benchmarks 0).
+        debug_invariants: Additionally audit cluster invariants on a
+            sampled fraction of *scheduler passes* (0 = off, 1.0 = every
+            pass).  Sampling is a deterministic stride on the pass
+            counter — no RNG draws — so enabling it never perturbs the
+            simulated outcome, only adds checking.
         max_events: Safety valve against livelocked policies.
         seed: Seed for simulator-owned randomness (provisioning failures,
             node failure sampling).
@@ -80,6 +85,7 @@ class SimConfig:
     checkpoint_loss_s: float = 30.0
     provisioning: bool = False
     verify_every: int = 0
+    debug_invariants: float = 0.0
     max_events: int | None = None
     seed: int = 0
     enforce_walltime: bool = False
@@ -133,6 +139,7 @@ class ClusterSimulator:
         runtime_registry: RuntimeRegistry | None = None,
         storage: "SharedFilesystem | None" = None,
         config: SimConfig | None = None,
+        serving: "ServingFleet | None" = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -190,6 +197,14 @@ class ClusterSimulator:
         if self._failure_injector is not None:
             for time, node_id in self._failure_injector.initial_failures(cluster):
                 engine.schedule_at(time, NodeFailure(node_id))
+        # The serving fleet (if any) registers its own event handlers and
+        # seeds its rate-change timeline; replicas then flow through the
+        # ordinary submit/schedule/preempt machinery like any other job.
+        self.serving = serving
+        if serving is not None:
+            serving.attach(self)
+            if self.config.sample_interval_s > 0 and not trace:
+                engine.schedule_at(0.0, MetricsSample())
 
     # -- public API ---------------------------------------------------------------
 
@@ -238,11 +253,12 @@ class ClusterSimulator:
         self.engine.run(until=until, max_events=self.config.max_events)
         now = self.engine.now
         self.metrics.on_used_changed(now, self.cluster.used_gpus)
+        serving_metrics = self.serving.finalize(now) if self.serving is not None else None
         return SimulationResult(
             scheduler=self.scheduler.name,
             placement=self.scheduler.placement.name,
             trace_name=self.trace.name,
-            metrics=summarize(self.jobs, self.metrics, now),
+            metrics=summarize(self.jobs, self.metrics, now, serving=serving_metrics),
             jobs=self.jobs,
             samples=self.metrics.samples,
             end_time=now,
@@ -311,6 +327,11 @@ class ClusterSimulator:
         self.perf.sched_pass_wall_s += _time.perf_counter() - started
         self.perf.scheduler_passes += 1
         self.metrics.scheduler_passes += 1
+        fraction = self.config.debug_invariants
+        if fraction > 0:
+            stride = max(1, round(1.0 / fraction))
+            if self.metrics.scheduler_passes % stride == 0:
+                self.cluster.verify_invariants()
         self._maybe_verify()
 
     def _on_finish(self, now: float, event: JobFinish) -> None:
@@ -438,6 +459,8 @@ class ClusterSimulator:
         )
         self.scheduler.notify_start(job, now)
         self.running[job.job_id] = job
+        if job.service_id is not None and self.serving is not None:
+            self.serving.on_replica_start(now, job, dict(placement))
 
         outcome: tuple[str, FailureCategory | None] = ("complete", None)
         wall = job.remaining_work * slowdown
@@ -485,6 +508,8 @@ class ClusterSimulator:
 
     def _release(self, job: Job) -> None:
         """Free a running job's resources and metrics-account the change."""
+        if job.service_id is not None and self.serving is not None:
+            self.serving.on_replica_stop(self.engine.now, job)
         if job.last_start_time is not None:
             self._wall_used[job.job_id] = self._wall_used.get(job.job_id, 0.0) + max(
                 0.0, self.engine.now - job.last_start_time

@@ -150,6 +150,11 @@ class Job:
     #: Input dataset staged from the shared filesystem before the job runs
     #: (0 = none); drives the storage-staging model.
     dataset_gb: float = 0.0
+    #: Inference-service replicas carry their service's id; batch training
+    #: jobs leave this ``None``.  Service replicas are excluded from the
+    #: job-level latency aggregates (their "latency" is request latency,
+    #: reported via :class:`~repro.sim.metrics.ServingMetrics`).
+    service_id: str | None = None
 
     # -- runtime state (managed by transition methods) --
     state: JobState = JobState.QUEUED

@@ -31,6 +31,7 @@ class TestRegistry:
         expected = {
             "T1", "T2", "T3", "T4", "T5",
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11",
+            "S1", "S2",
             "A1", "A2", "A3", "A4", "A5",
         }
         assert set(EXPERIMENTS) == expected

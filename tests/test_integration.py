@@ -34,7 +34,10 @@ def campus_run(scheduler_name="backfill-easy", seed=21, load=0.9, days=2.0, **kw
         scheduler,
         trace,
         exec_model=ExecutionModel(),
-        config=SimConfig(sample_interval_s=1800.0),
+        # debug_invariants: audit cluster invariants on a sample of
+        # scheduler passes in every integration run (deterministic stride,
+        # so it cannot change outcomes).
+        config=SimConfig(sample_interval_s=1800.0, debug_invariants=0.1),
         **kwargs,
     )
     return result, cluster, trace

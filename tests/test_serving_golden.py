@@ -1,0 +1,138 @@
+"""Golden pin of the S1 serving experiment for one seed.
+
+Same contract as ``test_golden_determinism``: every float must match
+*exactly*.  The S1 pipeline crosses the whole serving stack — NHPP rate
+synthesis, the M/M/c attainment integrals, autoscaler decisions, replica
+scheduling through tiered quota, and the final aggregation — so any drift
+here means a behavioural change somewhere in that chain, not noise.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments import run_experiment
+    for row in run_experiment('S1', seed=0, scale=0.25).rows: print(row)"
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SEED = 0
+SCALE = 0.25
+
+#: (load_x, arm) → expected S1 row at SEED/SCALE.
+GOLDEN = {
+    (0.5, "autoscaled"): {
+        "offered_mreq": 1.4600521776238244,
+        "slo_attainment": 1.0,
+        "goodput_rps": 16.898752055831302,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (0.5, "fixed"): {
+        "offered_mreq": 1.4600521776238244,
+        "slo_attainment": 1.0,
+        "goodput_rps": 16.898752055831302,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (1.0, "autoscaled"): {
+        "offered_mreq": 2.920104355247649,
+        "slo_attainment": 1.0,
+        "goodput_rps": 33.797504111662604,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (1.0, "fixed"): {
+        "offered_mreq": 2.920104355247649,
+        "slo_attainment": 1.0,
+        "goodput_rps": 33.797504111662604,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (2.0, "autoscaled"): {
+        "offered_mreq": 5.840208710495298,
+        "slo_attainment": 1.0,
+        "goodput_rps": 67.59500822332521,
+        "harvested_gpu_h": 33.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (2.0, "fixed"): {
+        "offered_mreq": 5.840208710495298,
+        "slo_attainment": 0.9999999999999853,
+        "goodput_rps": 67.59500822332421,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (3.0, "autoscaled"): {
+        "offered_mreq": 8.760313065742947,
+        "slo_attainment": 1.0,
+        "goodput_rps": 101.39251233498781,
+        "harvested_gpu_h": 59.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (3.0, "fixed"): {
+        "offered_mreq": 8.760313065742947,
+        "slo_attainment": 0.9816163559939018,
+        "goodput_rps": 99.52854848333749,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (5.0, "autoscaled"): {
+        "offered_mreq": 14.600521776238246,
+        "slo_attainment": 1.0,
+        "goodput_rps": 168.98752055831304,
+        "harvested_gpu_h": 121.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+    (5.0, "fixed"): {
+        "offered_mreq": 14.600521776238246,
+        "slo_attainment": 0.4880229352596339,
+        "goodput_rps": 82.46978580511565,
+        "harvested_gpu_h": 0.0,
+        "serving_preempt": 0,
+        "guar_wait_h": 0.0,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def s1_rows():
+    result = run_experiment("S1", seed=SEED, scale=SCALE)
+    return {(row["load_x"], row["arm"]): row for row in result.rows}
+
+
+def test_s1_covers_the_golden_grid(s1_rows):
+    assert set(s1_rows) == set(GOLDEN)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_s1_row_matches_golden_exactly(s1_rows, key):
+    row = s1_rows[key]
+    expected = GOLDEN[key]
+    for column, value in expected.items():
+        assert row[column] == value, (
+            f"S1 {key} drifted on {column}: measured {row[column]!r}, "
+            f"golden {value!r} — serving behaviour changed"
+        )
+
+
+def test_s1_headline_shape(s1_rows):
+    """The claim S1 exists to check, independent of exact goldens."""
+    top = max(load for load, _arm in s1_rows)
+    auto, fixed = s1_rows[(top, "autoscaled")], s1_rows[(top, "fixed")]
+    assert auto["slo_attainment"] > fixed["slo_attainment"]
+    assert auto["harvested_gpu_h"] > 0.0 and fixed["harvested_gpu_h"] == 0.0
+    # Harvesting never costs the guaranteed training tier.
+    assert auto["guar_wait_h"] <= fixed["guar_wait_h"] + 1e-9
