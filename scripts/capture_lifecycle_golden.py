@@ -1,0 +1,127 @@
+"""Capture the lifecycle-golden fixture used by tests/test_refactor_golden.py.
+
+Runs a battery of short, lifecycle-heavy simulations — failure injection,
+wall-time kills, preemption limits, gang time-slicing, elastic resizing,
+tiered-quota reclaim, and a co-located serving fleet — and records every
+run's ``summary()`` to ``tests/data/lifecycle_golden.json``.
+
+The fixture pins the simulator's observable behaviour bit-for-bit across
+refactors of the state-mutation machinery: regenerate it ONLY for an
+intentional behaviour change, never to make a refactor pass.
+
+Usage: PYTHONPATH=src python scripts/capture_lifecycle_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.experiments.common import campus_trace, fresh_trace_copy, run_policy
+from repro.experiments.serving import serving_quota, serving_workload
+from repro.sched import (
+    ElasticScheduler,
+    GangScheduler,
+    QuotaConfig,
+    TieredQuotaScheduler,
+    make_scheduler,
+)
+from repro.serving import AutoscalerConfig, ServingFleet
+from repro.sim.failures import FailureConfig
+from repro.sim.simulator import SimConfig
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "lifecycle_golden.json"
+
+
+def scenarios():
+    """(name, scheduler factory, sim kwargs, trace kwargs) per scenario.
+
+    Each exercises a different set of lifecycle transition paths; together
+    they cover every edge of the job state machine.
+    """
+    trace = campus_trace(0, 1.0, days=2.0)
+
+    def quota():
+        return QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.6)
+
+    yield (
+        "backfill_failures_walltime",
+        lambda: make_scheduler("backfill-easy"),
+        dict(
+            failure_config=FailureConfig(mtbf_hours=100.0, max_job_restarts=1),
+            sim_config=SimConfig(
+                sample_interval_s=1800.0,
+                enforce_walltime=True,
+                provisioning=True,
+                seed=0,
+            ),
+        ),
+        trace,
+    )
+    yield (
+        "gang_preemption_limit",
+        lambda: GangScheduler(quantum_s=1800.0),
+        dict(
+            sim_config=SimConfig(
+                sample_interval_s=1800.0,
+                checkpoint_loss_s=60.0,
+                max_job_preemptions=3,
+            ),
+        ),
+        trace,
+    )
+    yield (
+        "tiered_quota_failures",
+        lambda: TieredQuotaScheduler(quota()),
+        dict(
+            failure_config=FailureConfig(mtbf_hours=200.0),
+            sim_config=SimConfig(sample_interval_s=1800.0),
+        ),
+        trace,
+    )
+    yield (
+        "elastic_resizing",
+        lambda: ElasticScheduler(),
+        dict(sim_config=SimConfig(sample_interval_s=1800.0)),
+        trace,
+    )
+
+    serving_trace = campus_trace(0, 1.0, days=1.0, load=0.9)
+    yield (
+        "serving_colocated",
+        lambda: TieredQuotaScheduler(serving_quota(serving_trace)),
+        dict(
+            serving=ServingFleet(
+                serving_workload(2.0),
+                days=1.0,
+                autoscaler=AutoscalerConfig(enabled=True),
+                seed=13,
+            ),
+            sim_config=SimConfig(sample_interval_s=1800.0),
+        ),
+        serving_trace,
+    )
+
+
+def capture() -> dict[str, dict[str, float]]:
+    fixture: dict[str, dict[str, float]] = {}
+    for name, make, kwargs, trace in scenarios():
+        result = run_policy(make(), fresh_trace_copy(trace), **kwargs)
+        summary = {
+            key: ("nan" if isinstance(value, float) and math.isnan(value) else value)
+            for key, value in result.summary().items()
+        }
+        fixture[name] = summary
+        print(f"{name}: {len(summary)} metrics, events={summary['events']}")
+    return fixture
+
+
+def main() -> None:
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(capture(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

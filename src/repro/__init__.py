@@ -6,6 +6,8 @@ The package implements the full stack of the ASPLOS'25 operational study
 * :mod:`repro.cluster` — heterogeneous GPU nodes, racks, leaf-spine fabric;
 * :mod:`repro.workload` — job model, traces, calibrated synthesis;
 * :mod:`repro.sim` — deterministic discrete-event simulation;
+* :mod:`repro.controlplane` — the typed job-lifecycle state machine, the
+  controller every mutation flows through, and snapshot/fork of live sims;
 * :mod:`repro.sched` — FIFO/SJF/fair-share/DRF/backfill/gang/Tiresias and
   the cluster's tiered-quota policy, plus placement strategies up to
   HiveD-style buddy cells;

@@ -1,0 +1,36 @@
+"""The cluster control plane: lifecycle state machine, controller, snapshots.
+
+One typed path for every job-state mutation in the simulated cluster —
+scheduler placements, quota preemptions, failure recovery, serving
+autoscaling, and user kills all flow through :class:`ClusterController`,
+which validates each move against the :class:`JobLifecycle` state machine
+and appends it to the authoritative :class:`TransitionLog`.
+"""
+
+from .controller import ClusterController, ReplicaHost, TimelineEvent
+from .lifecycle import (
+    LEGAL_TRANSITIONS,
+    Actor,
+    Cause,
+    JobLifecycle,
+    LifecycleState,
+    Transition,
+    TransitionLog,
+)
+from .snapshot import SimSnapshot, fork, snapshot
+
+__all__ = [
+    "Actor",
+    "Cause",
+    "ClusterController",
+    "JobLifecycle",
+    "LEGAL_TRANSITIONS",
+    "LifecycleState",
+    "ReplicaHost",
+    "SimSnapshot",
+    "TimelineEvent",
+    "Transition",
+    "TransitionLog",
+    "fork",
+    "snapshot",
+]

@@ -1,0 +1,397 @@
+"""The cluster control plane: one owner for every job/cluster mutation.
+
+:class:`ClusterController` is the facade through which *every* actor —
+the arrival path, the scheduler's start/preempt callbacks, the failure
+injector's consequences, the serving autoscaler's retirements, and user
+kills from ``tcloud`` — mutates job and cluster state.  Each mutation:
+
+1. validates against the :class:`~repro.controlplane.lifecycle.JobLifecycle`
+   state machine (illegal transitions raise instead of corrupting state);
+2. applies the matching :class:`~repro.workload.job.Job` transition and
+   resource change (allocate/free, placement hooks, utilization
+   accounting);
+3. appends one typed :class:`~repro.controlplane.lifecycle.Transition` to
+   the :class:`~repro.controlplane.lifecycle.TransitionLog` — the single
+   source from which churn counters, the timeline, ``tcloud history``,
+   and the ops report derive.
+
+The simulator keeps what is genuinely *simulation*: the event queue, the
+execution/provisioning/staging models, and attempt-outcome planning.  The
+controller keeps what is *control*: who may move which job where, and the
+authoritative record that it happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+from ..cluster.cluster import Cluster
+from ..errors import SchedulingError, SimulationError
+from ..ids import JobId, NodeId
+from ..sched.base import Scheduler
+from ..workload.job import FailureCategory, Job, JobState
+from .lifecycle import (
+    LIFECYCLE_OF_JOB_STATE,
+    Actor,
+    Cause,
+    JobLifecycle,
+    LifecycleState,
+    Transition,
+    TransitionLog,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.metrics import MetricsCollector
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One recorded lifecycle event (``record_timeline=True`` runs)."""
+
+    time: float
+    kind: str  # submit|reject|start|preempt|requeue|complete|fail|kill|node_down|node_up
+    subject: str  # job id or node id
+    detail: str = ""
+
+
+class ReplicaHost(Protocol):
+    """Capacity hooks a serving fleet exposes to the control plane."""
+
+    def on_replica_start(
+        self, now: float, job: Job, placement: dict[NodeId, int]
+    ) -> None: ...
+
+    def on_replica_stop(self, now: float, job: Job) -> None: ...
+
+
+#: Outcome planned for one attempt: ("complete" | "fail" | "walltime", category).
+AttemptOutcome = tuple[str, "FailureCategory | None"]
+
+
+class ClusterController:
+    """Owns all job-state and allocation mutations of one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        metrics: "MetricsCollector",
+        *,
+        checkpoint_loss_s: float = 30.0,
+        max_job_preemptions: int = 0,
+        record_timeline: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.checkpoint_loss_s = checkpoint_loss_s
+        self.max_job_preemptions = max_job_preemptions
+        self.record_timeline = record_timeline
+        self.jobs: dict[JobId, Job] = {}
+        self.running: dict[JobId, Job] = {}
+        self.lifecycles: dict[JobId, JobLifecycle] = {}
+        self.log = TransitionLog()
+        self.timeline: list[TimelineEvent] = []
+        #: Planned outcome per (job, attempt); consumed when the attempt ends.
+        self.attempt_outcomes: dict[tuple[JobId, int], AttemptOutcome] = {}
+        #: Cumulative running wall time per job (wall-time enforcement).
+        self.wall_used: dict[JobId, float] = {}
+        #: Serving fleet capacity hooks, if a fleet is co-located.
+        self.serving: ReplicaHost | None = None
+        self._live_jobs = 0
+
+    # -- tracking -----------------------------------------------------------------
+
+    def track(self, job: Job) -> None:
+        """Register a job with the control plane (trace load / submission)."""
+        self.jobs[job.job_id] = job
+        self.lifecycles[job.job_id] = JobLifecycle(
+            job.job_id, LIFECYCLE_OF_JOB_STATE[job.state]
+        )
+        if not job.state.terminal:
+            self._live_jobs += 1
+
+    def lifecycle_of(self, job_id: JobId) -> JobLifecycle:
+        return self.lifecycles[job_id]
+
+    @property
+    def live_jobs(self) -> int:
+        return self._live_jobs
+
+    def work_remains(self) -> bool:
+        return self._live_jobs > 0
+
+    # -- admission ----------------------------------------------------------------
+
+    def admit(self, now: float, job: Job) -> None:
+        """Accept an arriving job and hand it to the scheduler's queue."""
+        self._apply(now, job, LifecycleState.ADMITTED, Cause.ADMIT, Actor.ADMISSION)
+        self.scheduler.enqueue(job, now)
+
+    def reject(self, now: float, job: Job) -> None:
+        """Reject an arriving job at submission (infeasible / no partition)."""
+        job.kill(now)
+        self._apply(now, job, LifecycleState.KILLED, Cause.REJECT, Actor.ADMISSION)
+
+    # -- placement ----------------------------------------------------------------
+
+    def ensure_startable(self, job: Job, placement: dict[NodeId, int]) -> int:
+        """Validate a scheduler's start request; returns the granted GPU total."""
+        if job.state is not JobState.QUEUED:
+            raise SchedulingError(
+                f"scheduler tried to start {job.job_id} in state {job.state.value}"
+            )
+        if not self.lifecycles[job.job_id].can(LifecycleState.RUNNING):
+            raise SchedulingError(
+                f"scheduler tried to start {job.job_id} in lifecycle state "
+                f"{self.lifecycles[job.job_id].state.value}"
+            )
+        total = sum(placement.values())
+        floor = job.elastic_min_gpus if job.elastic else job.num_gpus
+        if not floor <= total <= job.num_gpus:
+            raise SchedulingError(
+                f"placement for {job.job_id} provides {total} GPUs, "
+                f"job accepts [{floor}, {job.num_gpus}]"
+            )
+        return total
+
+    def start(
+        self,
+        now: float,
+        job: Job,
+        placement: dict[NodeId, int],
+        *,
+        slowdown: float,
+        setup_s: float = 0.0,
+    ) -> None:
+        """Allocate resources and move the job to RUNNING."""
+        total = self.ensure_startable(job, placement)
+        request = job.request
+        self.cluster.allocate(
+            job.job_id,
+            placement,
+            cpus_per_gpu=request.cpus_per_gpu,
+            memory_gb_per_gpu=request.memory_gb_per_gpu,
+        )
+        self.scheduler.placement.on_allocate(self.cluster, job.job_id, dict(placement))
+        self.metrics.on_used_changed(now, self.cluster.used_gpus)
+        job.start(
+            now,
+            tuple(sorted(placement)),
+            slowdown,
+            granted_gpus=total,
+            setup_s=setup_s,
+        )
+        self.scheduler.notify_start(job, now)
+        self.running[job.job_id] = job
+        if job.service_id is not None and self.serving is not None:
+            self.serving.on_replica_start(now, job, dict(placement))
+        self._apply(
+            now,
+            job,
+            LifecycleState.RUNNING,
+            Cause.PLACE,
+            Actor.SCHEDULER,
+            detail=f"gpus={total} nodes={len(placement)}",
+        )
+
+    def set_outcome(self, job: Job, outcome: AttemptOutcome) -> None:
+        """Record the planned outcome of the job's current attempt."""
+        self.attempt_outcomes[(job.job_id, job.attempts)] = outcome
+
+    def pop_outcome(self, job_id: JobId, attempt: int) -> AttemptOutcome:
+        return self.attempt_outcomes.pop((job_id, attempt))
+
+    # -- attempt end --------------------------------------------------------------
+
+    def finish(
+        self, now: float, job: Job, outcome: str, category: FailureCategory | None
+    ) -> None:
+        """Apply the end of a completed attempt (complete/fail/walltime-kill)."""
+        self._release(now, job)
+        if outcome == "fail":
+            assert category is not None
+            job.fail(now, category)
+            self._apply(
+                now,
+                job,
+                LifecycleState.FAILED,
+                Cause.INTRINSIC_FAILURE,
+                Actor.SIMULATOR,
+                detail=category.value,
+            )
+        elif outcome == "walltime":
+            job.kill(now)
+            self._apply(
+                now,
+                job,
+                LifecycleState.KILLED,
+                Cause.WALLTIME_LIMIT,
+                Actor.SIMULATOR,
+                detail="walltime",
+            )
+        else:
+            job.complete(now)
+            self._apply(
+                now, job, LifecycleState.FINISHED, Cause.COMPLETE, Actor.SIMULATOR
+            )
+        self.scheduler.notify_finish(job, now)
+
+    def preempt(self, now: float, job: Job) -> None:
+        """Gracefully evict a running job (scheduler/quota reclaim)."""
+        if job.state is not JobState.RUNNING:
+            raise SchedulingError(
+                f"scheduler tried to preempt {job.job_id} in state {job.state.value}"
+            )
+        if not job.preemptible:
+            raise SchedulingError(f"job {job.job_id} is not preemptible")
+        self._release(now, job)
+        job.preempt(now, checkpoint_loss=self.checkpoint_loss_s)
+        self._apply(now, job, LifecycleState.PREEMPTED, Cause.PREEMPT, Actor.SCHEDULER)
+        limit = self.max_job_preemptions
+        if limit and job.preemptions > limit:
+            job.fail(now, FailureCategory.PREEMPTION_LIMIT)
+            self._apply(
+                now,
+                job,
+                LifecycleState.FAILED,
+                Cause.PREEMPTION_LIMIT,
+                Actor.SIMULATOR,
+                detail=FailureCategory.PREEMPTION_LIMIT.value,
+            )
+            self.scheduler.notify_finish(job, now)
+            return
+        self.scheduler.enqueue(job, now)
+
+    def kill(
+        self,
+        now: float,
+        job: Job,
+        *,
+        cause: Cause = Cause.USER_KILL,
+        actor: Actor = Actor.USER,
+        detail: str = "user",
+    ) -> None:
+        """Kill a queued or running job (user cancel, replica retirement)."""
+        if job.state.terminal:
+            return
+        if job.state is JobState.RUNNING:
+            self._release(now, job)
+        else:
+            self.scheduler.remove(job.job_id)
+        job.kill(now)
+        self._apply(now, job, LifecycleState.KILLED, cause, actor, detail=detail)
+        self.scheduler.notify_finish(job, now)
+
+    # -- failure domain -----------------------------------------------------------
+
+    def apply_node_failure(
+        self, now: float, node_id: NodeId, *, max_restarts: int
+    ) -> list[JobId]:
+        """Fail a node and evict its jobs; returns the victim ids."""
+        victim_ids = sorted(self.cluster.fail_node(node_id))
+        for job_id in victim_ids:
+            job = self.jobs[job_id]
+            if job.state is not JobState.RUNNING:
+                continue
+            self._release(now, job)
+            if job.attempts > max_restarts:
+                job.fail(now, FailureCategory.HARDWARE)
+                self._apply(
+                    now,
+                    job,
+                    LifecycleState.FAILED,
+                    Cause.HARDWARE_FAILURE,
+                    Actor.FAILURE_INJECTOR,
+                    detail="hardware",
+                )
+                self.scheduler.notify_finish(job, now)
+            else:
+                job.requeue(now, work_lost=True)
+                self._apply(
+                    now,
+                    job,
+                    LifecycleState.RESTARTING,
+                    Cause.NODE_FAILURE,
+                    Actor.FAILURE_INJECTOR,
+                    detail="node_failure",
+                )
+                self.scheduler.enqueue(job, now)
+        self.metrics.node_failures += 1
+        self._record_infra(now, "node_down", node_id)
+        return victim_ids
+
+    def apply_node_repair(self, now: float, node_id: NodeId) -> None:
+        self.cluster.repair_node(node_id)
+        self._record_infra(now, "node_up", node_id)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _release(self, now: float, job: Job) -> None:
+        """Free a running job's resources and metrics-account the change."""
+        if job.service_id is not None and self.serving is not None:
+            self.serving.on_replica_stop(now, job)
+        if job.last_start_time is not None:
+            self.wall_used[job.job_id] = self.wall_used.get(job.job_id, 0.0) + max(
+                0.0, now - job.last_start_time
+            )
+        allocation = self.cluster.free(job.job_id)
+        self.scheduler.placement.on_free(self.cluster, job.job_id, allocation.placement)
+        self.running.pop(job.job_id, None)
+        self.attempt_outcomes.pop((job.job_id, job.attempts), None)
+        self.metrics.on_used_changed(now, self.cluster.used_gpus)
+
+    def _apply(
+        self,
+        now: float,
+        job: Job,
+        target: LifecycleState,
+        cause: Cause,
+        actor: Actor,
+        detail: str = "",
+    ) -> Transition:
+        """The single transition path: validate, log, account, record."""
+        transition = self.lifecycles[job.job_id].advance(
+            target,
+            time=now,
+            cause=cause,
+            actor=actor,
+            attempt=job.attempts,
+            detail=detail,
+        )
+        if job.state is not target.job_state:
+            raise SimulationError(
+                f"lifecycle desync for {job.job_id}: job is {job.state.value}, "
+                f"lifecycle reached {target.value}"
+            )
+        self.log.append(transition)
+        self._account(transition)
+        if self.record_timeline:
+            self.timeline.append(
+                TimelineEvent(now, transition.timeline_kind, job.job_id, detail)
+            )
+        return transition
+
+    def _account(self, transition: Transition) -> None:
+        """Derive churn counters from the transition stream (single source)."""
+        target = transition.target
+        if target is LifecycleState.PREEMPTED:
+            self.metrics.preemptions += 1
+        elif target is LifecycleState.RESTARTING:
+            self.metrics.job_restarts += 1
+        elif target.terminal:
+            self._live_jobs -= 1
+            if self._live_jobs < 0:
+                raise SimulationError(
+                    f"live-job counter went negative at {transition.job_id}; "
+                    "a terminal transition was double-counted"
+                )
+            if transition.cause is Cause.REJECT:
+                self.metrics.rejected_jobs += 1
+            elif transition.cause is Cause.WALLTIME_LIMIT:
+                self.metrics.walltime_kills += 1
+
+    def _record_infra(self, now: float, kind: str, subject: str) -> None:
+        if self.record_timeline:
+            self.timeline.append(TimelineEvent(now, kind, subject))

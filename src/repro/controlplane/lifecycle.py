@@ -1,0 +1,277 @@
+"""The typed job-lifecycle state machine.
+
+Every job in the simulated cluster moves through one explicit lifecycle::
+
+                      ┌────────────────────────────┐
+    PENDING ──admit──► ADMITTED ──place──► RUNNING ├──complete──► FINISHED
+       │                 │  ▲                │ │ │ └──fail──────► FAILED
+       └──reject/kill──► KILLED ◄──kill──────┘ │ └─node_failure─► RESTARTING
+                                               └────preempt────► PREEMPTED
+    (PREEMPTED / RESTARTING ──place──► RUNNING again, or terminal)
+
+States are *observations* layered over :class:`~repro.workload.job.Job`:
+the five-state ``JobState`` persisted on the job collapses ADMITTED /
+PREEMPTED / RESTARTING into ``QUEUED``; the lifecycle keeps them distinct
+because *why* a job is queued (fresh, evicted, crashed) is exactly what
+operational metrics and the timeline need.
+
+Every mutation produces a frozen :class:`Transition` record carrying the
+cause, the actor that requested it, and the simulated timestamp.  Illegal
+transitions raise :class:`~repro.errors.IllegalTransitionError` instead of
+silently corrupting metrics — the state machine is the contract, not a
+convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import IllegalTransitionError
+from ..workload.job import JobState
+
+
+class LifecycleState(enum.Enum):
+    """Control-plane view of where a job is in its life."""
+
+    PENDING = "pending"  # submitted, arrival not yet processed
+    ADMITTED = "admitted"  # accepted and enqueued with the scheduler
+    RUNNING = "running"
+    PREEMPTED = "preempted"  # gracefully evicted, back in the queue
+    RESTARTING = "restarting"  # evicted by a node failure, back in the queue
+    FINISHED = "finished"
+    KILLED = "killed"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+    @property
+    def job_state(self) -> JobState:
+        """The coarse five-state ``JobState`` this lifecycle state maps to."""
+        return _JOB_STATE_OF[self]
+
+
+_TERMINAL = frozenset(
+    {LifecycleState.FINISHED, LifecycleState.KILLED, LifecycleState.FAILED}
+)
+
+_JOB_STATE_OF: dict[LifecycleState, JobState] = {
+    LifecycleState.PENDING: JobState.QUEUED,
+    LifecycleState.ADMITTED: JobState.QUEUED,
+    LifecycleState.RUNNING: JobState.RUNNING,
+    LifecycleState.PREEMPTED: JobState.QUEUED,
+    LifecycleState.RESTARTING: JobState.QUEUED,
+    LifecycleState.FINISHED: JobState.COMPLETED,
+    LifecycleState.KILLED: JobState.KILLED,
+    LifecycleState.FAILED: JobState.FAILED,
+}
+
+#: Lifecycle state corresponding to each coarse job state (used to seed the
+#: lifecycle of jobs that enter the simulation already started/terminal).
+LIFECYCLE_OF_JOB_STATE: dict[JobState, LifecycleState] = {
+    JobState.QUEUED: LifecycleState.PENDING,
+    JobState.RUNNING: LifecycleState.RUNNING,
+    JobState.COMPLETED: LifecycleState.FINISHED,
+    JobState.KILLED: LifecycleState.KILLED,
+    JobState.FAILED: LifecycleState.FAILED,
+}
+
+#: The complete legal-transition relation.  Anything not listed raises.
+LEGAL_TRANSITIONS: dict[LifecycleState, frozenset[LifecycleState]] = {
+    LifecycleState.PENDING: frozenset(
+        {LifecycleState.ADMITTED, LifecycleState.KILLED}
+    ),
+    LifecycleState.ADMITTED: frozenset(
+        {LifecycleState.RUNNING, LifecycleState.KILLED, LifecycleState.FAILED}
+    ),
+    LifecycleState.RUNNING: frozenset(
+        {
+            LifecycleState.FINISHED,
+            LifecycleState.FAILED,
+            LifecycleState.KILLED,
+            LifecycleState.PREEMPTED,
+            LifecycleState.RESTARTING,
+        }
+    ),
+    LifecycleState.PREEMPTED: frozenset(
+        {LifecycleState.RUNNING, LifecycleState.KILLED, LifecycleState.FAILED}
+    ),
+    LifecycleState.RESTARTING: frozenset(
+        {LifecycleState.RUNNING, LifecycleState.KILLED, LifecycleState.FAILED}
+    ),
+    LifecycleState.FINISHED: frozenset(),
+    LifecycleState.KILLED: frozenset(),
+    LifecycleState.FAILED: frozenset(),
+}
+
+
+class Cause(enum.Enum):
+    """Why a transition happened (the edge label)."""
+
+    ADMIT = "admit"
+    REJECT = "reject"
+    PLACE = "place"
+    PREEMPT = "preempt"
+    PREEMPTION_LIMIT = "preemption_limit"
+    NODE_FAILURE = "node_failure"
+    COMPLETE = "complete"
+    INTRINSIC_FAILURE = "intrinsic_failure"  # the job's own scripted failure
+    HARDWARE_FAILURE = "hardware_failure"  # restart budget exhausted
+    WALLTIME_LIMIT = "walltime_limit"
+    USER_KILL = "user_kill"
+    SERVICE_RETIRE = "service_retire"  # serving autoscaler scale-down/horizon
+
+
+class Actor(enum.Enum):
+    """Who asked for the transition."""
+
+    USER = "user"
+    ADMISSION = "admission"
+    SCHEDULER = "scheduler"
+    SIMULATOR = "simulator"
+    FAILURE_INJECTOR = "failure_injector"
+    AUTOSCALER = "autoscaler"
+
+
+#: Timeline event kind emitted when a job *enters* each state (KILLED is
+#: special-cased: entering it from PENDING is a "reject", otherwise "kill").
+_TIMELINE_KIND: dict[LifecycleState, str] = {
+    LifecycleState.ADMITTED: "submit",
+    LifecycleState.RUNNING: "start",
+    LifecycleState.PREEMPTED: "preempt",
+    LifecycleState.RESTARTING: "requeue",
+    LifecycleState.FINISHED: "complete",
+    LifecycleState.FAILED: "fail",
+    LifecycleState.KILLED: "kill",
+}
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded edge of one job's lifecycle."""
+
+    job_id: str
+    time: float
+    source: LifecycleState
+    target: LifecycleState
+    cause: Cause
+    actor: Actor
+    attempt: int  # the job's attempt counter when the edge was taken
+    detail: str = ""
+
+    @property
+    def timeline_kind(self) -> str:
+        if self.target is LifecycleState.KILLED and self.cause is Cause.REJECT:
+            return "reject"
+        return _TIMELINE_KIND[self.target]
+
+    def oneline(self) -> str:
+        """Human-oriented rendering for ``tcloud`` history output."""
+        line = (
+            f"t+{self.time / 3600.0:7.2f}h  "
+            f"{self.source.value:>10s} -> {self.target.value:<10s} "
+            f"cause={self.cause.value} actor={self.actor.value}"
+        )
+        if self.detail:
+            line += f"  [{self.detail}]"
+        return line
+
+
+class JobLifecycle:
+    """The live state machine of one job.
+
+    Owns only the current :class:`LifecycleState`; history lives in the
+    controller's :class:`TransitionLog`.  :meth:`advance` is the *only*
+    way to move, and it validates against :data:`LEGAL_TRANSITIONS`.
+    """
+
+    __slots__ = ("job_id", "state")
+
+    def __init__(
+        self, job_id: str, state: LifecycleState = LifecycleState.PENDING
+    ) -> None:
+        self.job_id = job_id
+        self.state = state
+
+    def can(self, target: LifecycleState) -> bool:
+        return target in LEGAL_TRANSITIONS[self.state]
+
+    def advance(
+        self,
+        target: LifecycleState,
+        *,
+        time: float,
+        cause: Cause,
+        actor: Actor,
+        attempt: int,
+        detail: str = "",
+    ) -> Transition:
+        if not self.can(target):
+            raise IllegalTransitionError(
+                f"job {self.job_id}: illegal lifecycle transition "
+                f"{self.state.value} -> {target.value} "
+                f"(cause={cause.value}, actor={actor.value}, t={time})"
+            )
+        transition = Transition(
+            job_id=self.job_id,
+            time=time,
+            source=self.state,
+            target=target,
+            cause=cause,
+            actor=actor,
+            attempt=attempt,
+            detail=detail,
+        )
+        self.state = target
+        return transition
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobLifecycle({self.job_id!r}, {self.state.value})"
+
+
+class TransitionLog:
+    """Append-only record of every lifecycle transition in a run.
+
+    The single authoritative history: the timeline, churn metrics, the
+    ``tcloud history`` verb, and the ops report all derive from it.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[Transition] = []
+        self._by_target: dict[LifecycleState, int] = {}
+        self._by_cause: dict[Cause, int] = {}
+
+    def append(self, transition: Transition) -> None:
+        self.records.append(transition)
+        self._by_target[transition.target] = self._by_target.get(transition.target, 0) + 1
+        self._by_cause[transition.cause] = self._by_cause.get(transition.cause, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self.records)
+
+    def count(
+        self, target: LifecycleState | None = None, cause: Cause | None = None
+    ) -> int:
+        """O(1) count by target state and/or cause (full scan only if both)."""
+        if target is not None and cause is not None:
+            return sum(
+                1 for t in self.records if t.target is target and t.cause is cause
+            )
+        if target is not None:
+            return self._by_target.get(target, 0)
+        if cause is not None:
+            return self._by_cause.get(cause, 0)
+        return len(self.records)
+
+    def for_job(self, job_id: str) -> list[Transition]:
+        return [t for t in self.records if t.job_id == job_id]
+
+    def by_cause(self) -> dict[str, int]:
+        """Cause -> count, in first-seen order (reporting)."""
+        return {cause.value: count for cause, count in self._by_cause.items()}

@@ -105,6 +105,10 @@ class JobStateError(ReproError):
     """An illegal job lifecycle transition was attempted."""
 
 
+class IllegalTransitionError(JobStateError):
+    """The control plane rejected a lifecycle transition not in the legal set."""
+
+
 # --------------------------------------------------------------------------
 # Simulation errors
 # --------------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 from .dashboard import live_dashboard, run_report
 from .energy import EnergyConfig, EnergyReport, energy_report
-from .planning import ExpansionOption, plan_capacity
+from .planning import ExpansionOption, plan_capacity, what_if
 from .timeline import JobSegment, job_segments, render_gantt
 from .analytics import (
     Cdf,
@@ -54,5 +54,6 @@ __all__ = [
     "snapshot",
     "sparkline",
     "wait_cdf",
+    "what_if",
     "write_csv",
 ]

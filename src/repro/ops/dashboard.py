@@ -103,6 +103,15 @@ def run_report(result: SimulationResult, top_n: int = 5) -> str:
         f"churn: {metrics.preemptions} preemptions, {metrics.node_failures} node "
         f"failures, {metrics.job_restarts} restarts\n"
     )
+    if result.transitions:
+        by_cause: dict[str, int] = {}
+        for transition in result.transitions:
+            by_cause[transition.cause.value] = by_cause.get(transition.cause.value, 0) + 1
+        rendered = ", ".join(f"{cause}={count}" for cause, count in sorted(by_cause.items()))
+        out.write(
+            f"control plane: {len(result.transitions)} lifecycle transitions"
+            f" ({rendered})\n"
+        )
     failures = {k: v for k, v in metrics.failure_taxonomy.items() if v}
     if failures:
         out.write(f"failure taxonomy: {failures}\n")

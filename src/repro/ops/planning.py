@@ -13,8 +13,10 @@ row per option — the table an operator takes to the budget meeting.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from ..cluster.cluster import Cluster, ClusterSpec, NodeGroup, build_cluster
+from ..controlplane.snapshot import fork
 from ..errors import ConfigError
 from ..execlayer.speedup import ExecutionModel
 from ..sched import make_scheduler
@@ -49,6 +51,50 @@ def _expanded_spec(base: ClusterSpec, option: ExpansionOption) -> ClusterSpec:
         for group in option.groups
     )
     return replace(base, groups=base.groups + renamed, name=f"{base.name}+{option.name}")
+
+
+def what_if(
+    sim: ClusterSimulator,
+    interventions: dict[str, Callable[[ClusterSimulator], None]],
+    horizon_s: float | None = None,
+) -> list[dict[str, float]]:
+    """Fork a *live* simulation and compare interventions from this instant.
+
+    Capacity planning's sharper sibling: instead of replaying a synthetic
+    workload from scratch, fork the actual cluster state mid-run — queue,
+    allocations, RNG streams, pending events and all — apply each named
+    intervention to its own fork (kill a hog job, mark the queue
+    preemptible, retune a quota…), run every fork forward by *horizon_s*
+    (or to quiescence), and put the outcomes side by side.
+
+    The original simulation is never touched; the first returned row,
+    ``as-is``, is an unmodified fork — the counterfactual baseline every
+    intervention is judged against.  Rows share the controller's metric
+    definitions, so columns are directly comparable.
+    """
+    named: list[tuple[str, Callable[[ClusterSimulator], None] | None]] = [("as-is", None)]
+    named.extend(interventions.items())
+    until = None if horizon_s is None else sim.engine.now + horizon_s
+    rows: list[dict[str, float]] = []
+    for name, intervene in named:
+        forked = fork(sim)
+        if intervene is not None:
+            intervene(forked)
+        result = forked.run(until=until)
+        metrics = result.metrics
+        rows.append(
+            {
+                "option": name,
+                "completed": metrics.jobs_completed,
+                "avg_wait_h": metrics.wait_mean_s / 3600.0,
+                "p99_wait_h": metrics.wait_percentiles["p99"] / 3600.0,
+                "avg_jct_h": metrics.jct_mean_s / 3600.0,
+                "utilization": metrics.avg_utilization,
+                "preemptions": metrics.preemptions,
+                "rejected": metrics.rejected_jobs,
+            }
+        )
+    return rows
 
 
 def plan_capacity(

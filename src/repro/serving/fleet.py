@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..controlplane.lifecycle import Actor, Cause
 from ..errors import ConfigError, SimulationError
 from ..execlayer.comm import shape_from_placement
 from ..ids import NodeId, ServiceId
@@ -125,9 +126,18 @@ class ServingFleet:
         simulator = self._require_sim()
         live = service.live_replicas()
         for replica in live:
-            simulator.kill_job(replica.job.job_id)
+            self._retire(simulator, replica.job.job_id, detail="horizon")
         if live:
             service.scale_down_events += 1
+
+    def _retire(self, simulator: "ClusterSimulator", job_id: str, detail: str) -> None:
+        """Retire one replica through the control plane, attributed to us."""
+        simulator.kill_job(
+            job_id,
+            cause=Cause.SERVICE_RETIRE,
+            actor=Actor.AUTOSCALER,
+            detail=detail,
+        )
 
     def _on_scale_up(self, now: float, event: ServiceScaleUp) -> None:
         simulator = self._require_sim()
@@ -163,7 +173,7 @@ class ServingFleet:
         for replica in queued + running:
             if retired >= event.count:
                 break
-            simulator.kill_job(replica.job.job_id)
+            self._retire(simulator, replica.job.job_id, detail="scale_down")
             retired += 1
         if retired:
             service.scale_down_events += 1

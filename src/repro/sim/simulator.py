@@ -3,8 +3,12 @@
 :class:`ClusterSimulator` replays a job trace against a cluster under a
 scheduling policy, producing :class:`~repro.sim.metrics.SimMetrics`.  All
 state mutation — allocations, job lifecycle transitions, metric updates —
-happens inside this class's event handlers; schedulers act only through the
-``start_job`` / ``preempt_job`` callbacks in their
+flows through the :class:`~repro.controlplane.controller.ClusterController`
+owned by the simulator; the simulator's event handlers decide *when* and
+*what* (outcome planning, provisioning, staging), the control plane decides
+*whether* (lifecycle legality) and records *that it happened* (the
+transition log).  Schedulers act only through the ``start_job`` /
+``preempt_job`` callbacks in their
 :class:`~repro.sched.base.ScheduleContext`, and placement policies only
 observe via their hooks.
 
@@ -25,7 +29,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..errors import ConfigError, SchedulingError, SimulationError
+from ..controlplane.controller import ClusterController, TimelineEvent
+from ..controlplane.lifecycle import Actor, Cause, Transition
+from ..errors import ConfigError, SimulationError
 from ..execlayer.runtime import RuntimeRegistry
 from ..execlayer.speedup import ExecutionModel, UnitExecutionModel
 from ..ids import JobId, NodeId
@@ -93,16 +99,6 @@ class SimConfig:
     record_timeline: bool = False
 
 
-@dataclass(frozen=True)
-class TimelineEvent:
-    """One recorded lifecycle event (``record_timeline=True`` runs)."""
-
-    time: float
-    kind: str  # submit|reject|start|preempt|requeue|complete|fail|kill|node_down|node_up
-    subject: str  # job id or node id
-    detail: str = ""
-
-
 @dataclass
 class SimulationResult:
     """Everything a run produced."""
@@ -116,6 +112,9 @@ class SimulationResult:
     end_time: float
     events_processed: int
     timeline: list["TimelineEvent"] = field(default_factory=list)
+    #: The control plane's full transition log: every lifecycle edge of
+    #: every job, with cause/actor/timestamp.  Always recorded (O(#edges)).
+    transitions: list[Transition] = field(default_factory=list)
     #: Hot-path counters (wall time, nodes examined).  Observational only:
     #: excluded from summary() so results stay byte-identical across runs.
     perf: PerfCounters = field(default_factory=PerfCounters)
@@ -151,11 +150,20 @@ class ClusterSimulator:
         self.storage = storage
         self.engine = SimulationEngine()
         self.metrics = MetricsCollector(total_gpus=cluster.total_gpus)
-        self.jobs: dict[JobId, Job] = {}
-        self.running: dict[JobId, Job] = {}
-        self._attempt_outcome: dict[tuple[JobId, int], tuple[str, FailureCategory | None]] = {}
-        self._wall_used: dict[JobId, float] = {}  # cumulative running wall time
-        self.timeline: list[TimelineEvent] = []
+        # The control plane owns all job/cluster mutations; the simulator's
+        # job/running/timeline attributes alias its structures so existing
+        # observers (schedulers, dashboards, tests) read the same state.
+        self.controller = ClusterController(
+            cluster,
+            scheduler,
+            self.metrics,
+            checkpoint_loss_s=self.config.checkpoint_loss_s,
+            max_job_preemptions=self.config.max_job_preemptions,
+            record_timeline=self.config.record_timeline,
+        )
+        self.jobs: dict[JobId, Job] = self.controller.jobs
+        self.running: dict[JobId, Job] = self.controller.running
+        self.timeline: list[TimelineEvent] = self.controller.timeline
         self._tick_pending = False
         # Static-feasibility verdicts per distinct request shape: node specs
         # never change mid-run, so the answer is a pure function of the shape.
@@ -171,11 +179,7 @@ class ClusterSimulator:
         for job in trace:
             if job.job_id in self.jobs:
                 raise SimulationError(f"duplicate job id {job.job_id} in trace")
-            self.jobs[job.job_id] = job
-        # Live-job counter: non-terminal jobs among everything submitted.
-        # Kept in sync at every terminal transition so _work_remains() is
-        # O(1) instead of scanning the whole job population per event.
-        self._live_jobs = sum(1 for job in self.jobs.values() if not job.state.terminal)
+            self.controller.track(job)
 
         engine = self.engine
         engine.register(JobArrival, self._on_arrival)
@@ -203,6 +207,7 @@ class ClusterSimulator:
         self.serving = serving
         if serving is not None:
             serving.attach(self)
+            self.controller.serving = serving
             if self.config.sample_interval_s > 0 and not trace:
                 engine.schedule_at(0.0, MetricsSample())
 
@@ -220,9 +225,7 @@ class ClusterSimulator:
                 f"job {job.job_id} submit_time {job.submit_time} is in the past "
                 f"(now={self.engine.now})"
             )
-        self.jobs[job.job_id] = job
-        if not job.state.terminal:
-            self._live_jobs += 1
+        self.controller.track(job)
         self.engine.schedule_at(job.submit_time, JobArrival(job.job_id))
         if self.config.sample_interval_s > 0 and not self.engine.has_pending(MetricsSample):
             self.engine.schedule_at(self.engine.now, MetricsSample())
@@ -230,22 +233,33 @@ class ClusterSimulator:
         if quantum is not None and not self.engine.has_pending(QuantumExpiry):
             self.engine.schedule_in(quantum, QuantumExpiry())
 
-    def kill_job(self, job_id: JobId) -> None:
-        """Kill a queued or running job immediately (user cancellation)."""
+    def kill_job(
+        self,
+        job_id: JobId,
+        *,
+        cause: "Cause | None" = None,
+        actor: "Actor | None" = None,
+        detail: str = "user",
+    ) -> None:
+        """Kill a queued or running job immediately (user cancellation).
+
+        Callers other than the user (e.g. the serving autoscaler retiring
+        replicas) pass their own ``cause``/``actor`` so the transition log
+        attributes the kill correctly.
+        """
         job = self.jobs.get(job_id)
         if job is None:
             raise SimulationError(f"unknown job {job_id}")
         if job.state.terminal:
             return
         now = self.engine.now
-        if job.state is JobState.RUNNING:
-            self._release(job)
-        else:
-            self.scheduler.remove(job_id)
-        job.kill(now)
-        self._note_terminal(job)
-        self._record(now, "kill", job.job_id, "user")
-        self.scheduler.notify_finish(job, now)
+        self.controller.kill(
+            now,
+            job,
+            cause=cause or Cause.USER_KILL,
+            actor=actor or Actor.USER,
+            detail=detail,
+        )
         self._request_tick(now)
 
     def run(self, until: float | None = None) -> SimulationResult:
@@ -264,25 +278,20 @@ class ClusterSimulator:
             end_time=now,
             events_processed=self.engine.events_processed,
             timeline=self.timeline,
+            transitions=self.controller.log.records,
             perf=self.perf,
         )
 
     # -- event handlers --------------------------------------------------------------
 
-    def _record(self, now: float, kind: str, subject: str, detail: str = "") -> None:
-        if self.config.record_timeline:
-            self.timeline.append(TimelineEvent(now, kind, subject, detail))
-
     def _on_arrival(self, now: float, event: JobArrival) -> None:
         job = self.jobs[event.job_id]
+        if job.state.terminal:
+            return  # killed while still pending (tcloud cancel before arrival)
         if not self._admit_partition(job) or not self._statically_feasible(job):
-            job.kill(now)
-            self._note_terminal(job)
-            self.metrics.rejected_jobs += 1
-            self._record(now, "reject", job.job_id)
+            self.controller.reject(now, job)
             return
-        self.scheduler.enqueue(job, now)
-        self._record(now, "submit", job.job_id)
+        self.controller.admit(now, job)
         self._request_tick(now)
 
     def _admit_partition(self, job: Job) -> bool:
@@ -338,21 +347,8 @@ class ClusterSimulator:
         job = self.jobs[event.job_id]
         if job.attempts != event.attempt or job.state is not JobState.RUNNING:
             return  # stale event from a preempted/killed attempt
-        outcome, category = self._attempt_outcome.pop((job.job_id, event.attempt))
-        self._release(job)
-        if outcome == "fail":
-            assert category is not None
-            job.fail(now, category)
-            self._record(now, "fail", job.job_id, category.value)
-        elif outcome == "walltime":
-            job.kill(now)
-            self.metrics.walltime_kills += 1
-            self._record(now, "kill", job.job_id, "walltime")
-        else:
-            job.complete(now)
-            self._record(now, "complete", job.job_id)
-        self._note_terminal(job)
-        self.scheduler.notify_finish(job, now)
+        outcome, category = self.controller.pop_outcome(job.job_id, event.attempt)
+        self.controller.finish(now, job, outcome, category)
         self._request_tick(now)
         self._maybe_verify()
 
@@ -367,28 +363,11 @@ class ClusterSimulator:
         node = self.cluster.node(event.node_id)
         if not node.healthy:
             return  # already down (overlapping failure sample)
-        victim_ids = sorted(self.cluster.fail_node(event.node_id))
-        for job_id in victim_ids:
-            job = self.jobs[job_id]
-            if job.state is not JobState.RUNNING:
-                continue
-            self._release(job)
-            injector = self._failure_injector
-            max_restarts = injector.config.max_job_restarts if injector else 0
-            if job.attempts > max_restarts:
-                job.fail(now, FailureCategory.HARDWARE)
-                self._note_terminal(job)
-                self._record(now, "fail", job.job_id, "hardware")
-                self.scheduler.notify_finish(job, now)
-            else:
-                job.requeue(now, work_lost=True)
-                self.metrics.job_restarts += 1
-                self._record(now, "requeue", job.job_id, "node_failure")
-                self.scheduler.enqueue(job, now)
-        self.metrics.node_failures += 1
-        self._record(now, "node_down", event.node_id)
-        assert self._failure_injector is not None
-        self.engine.schedule_in(self._failure_injector.repair_time_s(), NodeRepair(event.node_id))
+        injector = self._failure_injector
+        max_restarts = injector.config.max_job_restarts if injector else 0
+        self.controller.apply_node_failure(now, event.node_id, max_restarts=max_restarts)
+        assert injector is not None
+        self.engine.schedule_in(injector.repair_time_s(), NodeRepair(event.node_id))
         self._request_tick(now)
         self._maybe_verify()
 
@@ -397,8 +376,7 @@ class ClusterSimulator:
         self.storage.end_stage()
 
     def _on_node_repair(self, now: float, event: NodeRepair) -> None:
-        self.cluster.repair_node(event.node_id)
-        self._record(now, "node_up", event.node_id)
+        self.controller.apply_node_repair(now, event.node_id)
         assert self._failure_injector is not None
         node = self.cluster.node(event.node_id)
         if self._work_remains():
@@ -410,17 +388,9 @@ class ClusterSimulator:
     # -- scheduler callbacks -------------------------------------------------------------
 
     def _start_job(self, now: float, job: Job, placement: dict[NodeId, int]) -> None:
-        if job.state is not JobState.QUEUED:
-            raise SchedulingError(
-                f"scheduler tried to start {job.job_id} in state {job.state.value}"
-            )
-        total = sum(placement.values())
-        floor = job.elastic_min_gpus if job.elastic else job.num_gpus
-        if not floor <= total <= job.num_gpus:
-            raise SchedulingError(
-                f"placement for {job.job_id} provides {total} GPUs, "
-                f"job accepts [{floor}, {job.num_gpus}]"
-            )
+        # Validate before the execution models run: a bad scheduler call
+        # must raise without consuming RNG draws (provisioning samples).
+        total = self.controller.ensure_startable(job, placement)
         slowdown = self.exec_model.slowdown(job, placement, self.cluster)
         provision_s = 0.0
         if self.config.provisioning:
@@ -441,26 +411,9 @@ class ClusterSimulator:
             provision_s += stage_s
             self.metrics.stage_seconds += stage_s
 
-        request = job.request
-        self.cluster.allocate(
-            job.job_id,
-            placement,
-            cpus_per_gpu=request.cpus_per_gpu,
-            memory_gb_per_gpu=request.memory_gb_per_gpu,
+        self.controller.start(
+            now, job, placement, slowdown=slowdown, setup_s=provision_s
         )
-        self.scheduler.placement.on_allocate(self.cluster, job.job_id, dict(placement))
-        self.metrics.on_used_changed(now, self.cluster.used_gpus)
-        job.start(
-            now,
-            tuple(sorted(placement)),
-            slowdown,
-            granted_gpus=total,
-            setup_s=provision_s,
-        )
-        self.scheduler.notify_start(job, now)
-        self.running[job.job_id] = job
-        if job.service_id is not None and self.serving is not None:
-            self.serving.on_replica_start(now, job, dict(placement))
 
         outcome: tuple[str, FailureCategory | None] = ("complete", None)
         wall = job.remaining_work * slowdown
@@ -473,69 +426,27 @@ class ClusterSimulator:
         if self.config.enforce_walltime:
             # The wall-time limit covers the whole allocation (provisioning
             # included), cumulatively across attempts, as in Slurm.
-            cap = (job.walltime_estimate or job.duration) - self._wall_used.get(
+            cap = (job.walltime_estimate or job.duration) - self.controller.wall_used.get(
                 job.job_id, 0.0
             )
             if provision_s + wall > cap + 1e-9:
                 wall = max(0.0, cap - provision_s)
                 outcome = ("walltime", None)
-        self._attempt_outcome[(job.job_id, job.attempts)] = outcome
-        self._record(
-            now, "start", job.job_id, f"gpus={total} nodes={len(placement)}"
-        )
+        self.controller.set_outcome(job, outcome)
         self.engine.schedule_in(provision_s + wall, JobFinish(job.job_id, job.attempts))
 
     def _preempt_job(self, now: float, job: Job) -> None:
-        if job.state is not JobState.RUNNING:
-            raise SchedulingError(
-                f"scheduler tried to preempt {job.job_id} in state {job.state.value}"
-            )
-        if not job.preemptible:
-            raise SchedulingError(f"job {job.job_id} is not preemptible")
-        self._release(job)
-        job.preempt(now, checkpoint_loss=self.config.checkpoint_loss_s)
-        self.metrics.preemptions += 1
-        self._record(now, "preempt", job.job_id)
-        limit = self.config.max_job_preemptions
-        if limit and job.preemptions > limit:
-            job.fail(now, FailureCategory.PREEMPTION_LIMIT)
-            self._note_terminal(job)
-            self.scheduler.notify_finish(job, now)
-            return
-        self.scheduler.enqueue(job, now)
+        self.controller.preempt(now, job)
 
     # -- internals ---------------------------------------------------------------------
-
-    def _release(self, job: Job) -> None:
-        """Free a running job's resources and metrics-account the change."""
-        if job.service_id is not None and self.serving is not None:
-            self.serving.on_replica_stop(self.engine.now, job)
-        if job.last_start_time is not None:
-            self._wall_used[job.job_id] = self._wall_used.get(job.job_id, 0.0) + max(
-                0.0, self.engine.now - job.last_start_time
-            )
-        allocation = self.cluster.free(job.job_id)
-        self.scheduler.placement.on_free(self.cluster, job.job_id, allocation.placement)
-        self.running.pop(job.job_id, None)
-        self._attempt_outcome.pop((job.job_id, job.attempts), None)
-        self.metrics.on_used_changed(self.engine.now, self.cluster.used_gpus)
 
     def _request_tick(self, now: float) -> None:
         if not self._tick_pending:
             self._tick_pending = True
             self.engine.schedule_at(now, SchedulerTick())
 
-    def _note_terminal(self, job: Job) -> None:
-        """Account one job's transition into a terminal state (O(1))."""
-        self._live_jobs -= 1
-        if self._live_jobs < 0:
-            raise SimulationError(
-                f"live-job counter went negative at {job.job_id}; "
-                "a terminal transition was double-counted"
-            )
-
     def _work_remains(self) -> bool:
-        return self._live_jobs > 0
+        return self.controller.work_remains()
 
     def _statically_feasible(self, job: Job) -> bool:
         """Could this request EVER be satisfied on an empty, healthy cluster?

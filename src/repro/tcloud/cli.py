@@ -84,6 +84,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
         for node, lines in client.logs(job_id, tail=int(args.tail)).items():
             for line in lines:
                 _print(line)
+        _print("# lifecycle")
+        for transition in client.history(job_id):
+            _print(transition.oneline())
     return 0
 
 
@@ -149,6 +152,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     for node, lines in client.logs(job_ids[0], tail=3).items():
         for line in lines:
             _print(line)
+    _print("\n# lifecycle of the first job so far")
+    for transition in client.history(job_ids[0]):
+        _print(transition.oneline())
     for job_id in job_ids:
         client.wait(job_id)
     _print("\n# final states")

@@ -11,6 +11,7 @@ work.
 
 from __future__ import annotations
 
+from ..controlplane.lifecycle import Transition
 from ..errors import ConfigError
 from ..ids import JobId
 from ..schema.parser import parse_task_file, parse_task_text
@@ -83,6 +84,10 @@ class TcloudClient:
 
     def logs(self, job_id: JobId, tail: int = 5) -> dict[str, list[str]]:
         return self.frontend.logs(job_id, tail=tail)
+
+    def history(self, job_id: JobId) -> list[Transition]:
+        """The job's typed lifecycle history (control-plane transition log)."""
+        return self.frontend.history(job_id)
 
     def queue(self) -> list[JobStatus]:
         return self.frontend.list_jobs()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..controlplane.lifecycle import Transition
 from ..errors import ConfigError, SchemaError, SimulationError
 from ..ids import JobId
 from ..schema.taskspec import TaskSpec
@@ -141,6 +142,10 @@ class FederatedClient:
     def logs(self, federated_id: JobId, tail: int = 5) -> dict[str, list[str]]:
         client, job_id = self._resolve(federated_id)
         return client.logs(job_id, tail=tail)
+
+    def history(self, federated_id: JobId) -> list[Transition]:
+        client, job_id = self._resolve(federated_id)
+        return client.history(job_id)
 
     def kill(self, federated_id: JobId) -> JobStatus:
         client, job_id = self._resolve(federated_id)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..cluster.cluster import Cluster, build_tacc_cluster
 from ..compiler.cache import ChunkStore
+from ..controlplane.lifecycle import Transition
 from ..compiler.compiler import CompileResult, TaskCompiler
 from ..errors import SimulationError, ValidationError
 from ..execlayer.speedup import ExecutionModel
@@ -208,6 +209,16 @@ class TaccFrontend:
             marker = f"[frontend] job {job.job_id} {job.state.value}"
             streams.setdefault("frontend", []).append(marker)
         return streams
+
+    def history(self, job_id: JobId) -> list[Transition]:
+        """The job's full lifecycle history from the control plane's log.
+
+        Every transition carries its cause, the actor that requested it,
+        and the simulated timestamp — ``tcloud``'s answer to "what
+        happened to my job?" without grepping scheduler logs.
+        """
+        self._job(job_id)
+        return self.sim.controller.log.for_job(job_id)
 
     def kill(self, job_id: JobId) -> JobStatus:
         self._job(job_id)  # raise on unknown ids before touching the sim

@@ -1,0 +1,370 @@
+"""Control-plane tests: lifecycle state machine, controller, transition log."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.controlplane import (
+    LEGAL_TRANSITIONS,
+    Actor,
+    Cause,
+    JobLifecycle,
+    LifecycleState,
+    Transition,
+    TransitionLog,
+)
+from repro.errors import IllegalTransitionError, JobStateError, SchedulingError
+from repro.sched import GreedyFifoScheduler, QuotaConfig, TieredQuotaScheduler
+from repro.sim import ClusterSimulator, SimConfig
+from repro.workload import JobState, Trace
+from tests.conftest import make_job
+
+#: Minimal (cause, actor) choice per target state, for matrix probing.
+_EDGE_LABEL = {
+    LifecycleState.ADMITTED: (Cause.ADMIT, Actor.ADMISSION),
+    LifecycleState.RUNNING: (Cause.PLACE, Actor.SCHEDULER),
+    LifecycleState.PREEMPTED: (Cause.PREEMPT, Actor.SCHEDULER),
+    LifecycleState.RESTARTING: (Cause.NODE_FAILURE, Actor.FAILURE_INJECTOR),
+    LifecycleState.FINISHED: (Cause.COMPLETE, Actor.SIMULATOR),
+    LifecycleState.KILLED: (Cause.USER_KILL, Actor.USER),
+    LifecycleState.FAILED: (Cause.INTRINSIC_FAILURE, Actor.SIMULATOR),
+    LifecycleState.PENDING: (Cause.ADMIT, Actor.ADMISSION),  # never legal
+}
+
+
+class TestLifecycleMatrix:
+    """Exhaustive legal/illegal transition matrix over all 64 state pairs."""
+
+    @pytest.mark.parametrize(
+        "source,target",
+        list(itertools.product(LifecycleState, LifecycleState)),
+        ids=lambda s: s.value,
+    )
+    def test_every_pair(self, source, target):
+        lifecycle = JobLifecycle("job-x", source)
+        cause, actor = _EDGE_LABEL[target]
+        legal = target in LEGAL_TRANSITIONS[source]
+        assert lifecycle.can(target) is legal
+        if legal:
+            transition = lifecycle.advance(
+                target, time=1.0, cause=cause, actor=actor, attempt=0
+            )
+            assert lifecycle.state is target
+            assert transition.source is source
+            assert transition.target is target
+        else:
+            with pytest.raises(IllegalTransitionError):
+                lifecycle.advance(target, time=1.0, cause=cause, actor=actor, attempt=0)
+            assert lifecycle.state is source  # unchanged on rejection
+
+    def test_matrix_shape(self):
+        # Every state has an entry; terminal states have no outgoing edges.
+        assert set(LEGAL_TRANSITIONS) == set(LifecycleState)
+        for state in LifecycleState:
+            assert bool(LEGAL_TRANSITIONS[state]) != state.terminal
+        legal_count = sum(len(targets) for targets in LEGAL_TRANSITIONS.values())
+        assert legal_count == 16
+
+    def test_illegal_transition_is_a_job_state_error(self):
+        lifecycle = JobLifecycle("job-x", LifecycleState.FINISHED)
+        with pytest.raises(JobStateError):
+            lifecycle.advance(
+                LifecycleState.RUNNING,
+                time=0.0,
+                cause=Cause.PLACE,
+                actor=Actor.SCHEDULER,
+                attempt=1,
+            )
+
+    def test_job_state_projection(self):
+        assert LifecycleState.ADMITTED.job_state is JobState.QUEUED
+        assert LifecycleState.PREEMPTED.job_state is JobState.QUEUED
+        assert LifecycleState.RESTARTING.job_state is JobState.QUEUED
+        assert LifecycleState.RUNNING.job_state is JobState.RUNNING
+        assert LifecycleState.FINISHED.job_state is JobState.COMPLETED
+
+
+class TestTransitionRecords:
+    def transition(self, **kwargs) -> Transition:
+        defaults = dict(
+            job_id="job-1",
+            time=7200.0,
+            source=LifecycleState.ADMITTED,
+            target=LifecycleState.RUNNING,
+            cause=Cause.PLACE,
+            actor=Actor.SCHEDULER,
+            attempt=1,
+            detail="gpus=4 nodes=1",
+        )
+        defaults.update(kwargs)
+        return Transition(**defaults)
+
+    def test_timeline_kind_mapping(self):
+        assert self.transition().timeline_kind == "start"
+        reject = self.transition(
+            source=LifecycleState.PENDING,
+            target=LifecycleState.KILLED,
+            cause=Cause.REJECT,
+            actor=Actor.ADMISSION,
+        )
+        assert reject.timeline_kind == "reject"
+        kill = self.transition(
+            source=LifecycleState.RUNNING,
+            target=LifecycleState.KILLED,
+            cause=Cause.USER_KILL,
+            actor=Actor.USER,
+        )
+        assert kill.timeline_kind == "kill"
+
+    def test_oneline_rendering(self):
+        line = self.transition().oneline()
+        assert "admitted" in line and "running" in line
+        assert "cause=place" in line and "actor=scheduler" in line
+        assert "[gpus=4 nodes=1]" in line
+
+    def test_log_counts_and_queries(self):
+        log = TransitionLog()
+        log.append(self.transition())
+        log.append(
+            self.transition(
+                job_id="job-2",
+                source=LifecycleState.RUNNING,
+                target=LifecycleState.FINISHED,
+                cause=Cause.COMPLETE,
+                actor=Actor.SIMULATOR,
+            )
+        )
+        assert len(log) == 2
+        assert log.count(target=LifecycleState.RUNNING) == 1
+        assert log.count(cause=Cause.COMPLETE) == 1
+        assert log.count(target=LifecycleState.FINISHED, cause=Cause.COMPLETE) == 1
+        assert log.count() == 2
+        assert [t.job_id for t in log.for_job("job-2")] == ["job-2"]
+        assert log.by_cause() == {"place": 1, "complete": 1}
+
+
+def quota_sim(jobs, **config_kwargs):
+    """Two-lab quota sim where lab-b's job borrows lab-a's idle share."""
+    cluster = uniform_cluster(2, gpus_per_node=8)
+    quota = QuotaConfig.equal_shares(["lab-a", "lab-b"], cluster.total_gpus, fraction=0.5)
+    scheduler = TieredQuotaScheduler(quota)
+    config = SimConfig(sample_interval_s=0.0, verify_every=1, **config_kwargs)
+    sim = ClusterSimulator(cluster, scheduler, Trace(list(jobs), name="unit"), config=config)
+    return sim, scheduler, cluster
+
+
+class TestControllerPaths:
+    def test_full_lifecycle_in_transition_log(self):
+        job = make_job("a", duration=100.0, submit_time=5.0, lab="lab-a")
+        sim, _sched, _cluster = quota_sim([job])
+        sim.run()
+        states = [t.target for t in sim.controller.log.for_job("a")]
+        assert states == [
+            LifecycleState.ADMITTED,
+            LifecycleState.RUNNING,
+            LifecycleState.FINISHED,
+        ]
+        assert all(t.job_id == "a" for t in sim.controller.log)
+
+    def test_kill_and_preempt_release_identically(self):
+        """kill_job and preempt must leave cluster/index/quota state identical."""
+        def borrower():
+            # lab-b exceeds its 8-GPU share -> the surplus job is borrowed
+            # capacity, charged to lab-b and marked preemptible on start.
+            return [
+                make_job("base", num_gpus=8, duration=9000.0, lab="lab-b"),
+                make_job("victim", num_gpus=8, duration=9000.0, lab="lab-b"),
+            ]
+
+        observed = {}
+        for mode in ("kill", "preempt"):
+            sim, scheduler, cluster = quota_sim(borrower())
+            sim.engine.run(until=10.0)
+            victim = sim.jobs["victim"]
+            assert victim.state is JobState.RUNNING
+            assert victim.preemptible  # borrowed capacity is reclaimable
+            if mode == "kill":
+                sim.kill_job("victim")
+            else:
+                sim.controller.preempt(sim.engine.now, victim)
+            cluster.verify_invariants()
+            observed[mode] = {
+                "free_gpus": cluster.free_gpus,
+                "running": sorted(sim.running),
+                "charged": dict(scheduler._charged),
+                "borrowed": set(scheduler._borrowed),
+                "victim_allocated": cluster.holds_job("victim"),
+            }
+        # Identical release effects; only the job's final state differs.
+        assert observed["kill"] == observed["preempt"]
+        assert observed["kill"]["victim_allocated"] is False
+        assert observed["kill"]["free_gpus"] == 8
+        # Both paths scrub the victim's quota state (the old asymmetry).
+        assert "victim" not in observed["kill"]["charged"]
+        assert "victim" not in observed["kill"]["borrowed"]
+
+    def test_preemption_limit_records_fail_timeline_event(self):
+        """Regression: the preemption-limit death used to leave no timeline
+        record, so Gantt charts showed the job queued forever."""
+        jobs = [
+            make_job("victim", num_gpus=8, duration=9000.0, lab="lab-b", submit_time=0.0),
+        ]
+        sim, _sched, _cluster = quota_sim(jobs, max_job_preemptions=1, record_timeline=True)
+        sim.engine.run(until=5.0)
+        victim = sim.jobs["victim"]
+        assert victim.state is JobState.RUNNING
+        now = sim.engine.now
+        sim.controller.preempt(now, victim)  # 1st preemption: requeued
+        assert victim.state is JobState.QUEUED
+        sim._run_scheduler_pass(now)  # restarts it as a borrower
+        assert victim.state is JobState.RUNNING
+        sim.controller.preempt(now, victim)  # 2nd: over the limit
+        assert victim.state is JobState.FAILED
+        kinds = [e.kind for e in sim.timeline if e.subject == "victim"]
+        assert kinds[-2:] == ["preempt", "fail"]
+        last = sim.controller.log.for_job("victim")[-1]
+        assert last.cause is Cause.PREEMPTION_LIMIT
+        assert last.target is LifecycleState.FAILED
+
+    def test_illegal_start_raises_scheduling_error(self):
+        job = make_job("a", duration=100.0)
+        sim, _sched, cluster = quota_sim([job])
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        with pytest.raises(SchedulingError):
+            sim.controller.start(
+                sim.engine.now, job, {next(iter(cluster.nodes)): 1}, slowdown=1.0
+            )
+
+    def test_double_admit_raises_illegal_transition(self):
+        job = make_job("a", duration=100.0, submit_time=0.0)
+        sim, _sched, _cluster = quota_sim([job])
+        sim.engine.run(until=1.0)
+        with pytest.raises(IllegalTransitionError):
+            sim.controller.admit(sim.engine.now, sim.jobs["a"])
+
+    def test_kill_pending_job_then_arrival_is_noop(self):
+        job = make_job("late", duration=100.0, submit_time=50.0)
+        sim, _sched, _cluster = quota_sim([job])
+        sim.kill_job("late")  # cancelled before its arrival event fires
+        assert job.state is JobState.KILLED
+        result = sim.run()
+        assert job.state is JobState.KILLED
+        assert result.metrics.rejected_jobs == 0
+        transitions = sim.controller.log.for_job("late")
+        assert [t.target for t in transitions] == [LifecycleState.KILLED]
+        assert transitions[0].cause is Cause.USER_KILL
+
+    def test_rejection_attributed_to_admission(self):
+        job = make_job("huge", num_gpus=4096, duration=100.0)
+        sim, _sched, _cluster = quota_sim([job])
+        result = sim.run()
+        assert result.metrics.rejected_jobs == 1
+        transition = sim.controller.log.for_job("huge")[0]
+        assert transition.source is LifecycleState.PENDING
+        assert transition.target is LifecycleState.KILLED
+        assert transition.cause is Cause.REJECT
+        assert transition.actor is Actor.ADMISSION
+        assert transition.timeline_kind == "reject"
+
+    def test_node_failure_transitions_attributed_to_injector(self):
+        from repro.sim import FailureConfig
+
+        cluster = uniform_cluster(2, gpus_per_node=8)
+        jobs = [make_job(f"j{i}", num_gpus=8, duration=200_000.0) for i in range(2)]
+        sim = ClusterSimulator(
+            cluster,
+            GreedyFifoScheduler(),
+            Trace(jobs, name="unit"),
+            failure_config=FailureConfig(mtbf_hours=2.0, max_job_restarts=100),
+            config=SimConfig(sample_interval_s=0.0, seed=3),
+        )
+        sim.engine.run(until=100 * 3600.0)
+        restarts = [
+            t
+            for t in sim.controller.log
+            if t.target is LifecycleState.RESTARTING
+        ]
+        assert restarts, "no node failure hit a running job in 100h at 2h MTBF"
+        assert all(t.actor is Actor.FAILURE_INJECTOR for t in restarts)
+        assert all(t.cause is Cause.NODE_FAILURE for t in restarts)
+        assert sim.metrics.job_restarts == len(restarts)
+
+    def test_counters_derive_from_transition_log(self):
+        """Churn counters must equal what the transition log implies."""
+        from repro.sim import FailureConfig
+
+        cluster = uniform_cluster(2, gpus_per_node=8)
+        jobs = [
+            make_job(f"j{i}", num_gpus=4, duration=40_000.0, submit_time=i * 10.0)
+            for i in range(8)
+        ]
+        sim = ClusterSimulator(
+            cluster,
+            GreedyFifoScheduler(),
+            Trace(jobs, name="unit"),
+            failure_config=FailureConfig(mtbf_hours=4.0, max_job_restarts=100),
+            config=SimConfig(sample_interval_s=0.0, seed=1),
+        )
+        result = sim.run()
+        log = sim.controller.log
+        assert result.metrics.job_restarts == log.count(target=LifecycleState.RESTARTING)
+        assert result.metrics.preemptions == log.count(target=LifecycleState.PREEMPTED)
+        assert result.metrics.rejected_jobs == log.count(cause=Cause.REJECT)
+        terminal = sum(log.count(target=s) for s in LifecycleState if s.terminal)
+        assert terminal == len(jobs)
+        assert sim.controller.live_jobs == 0
+
+
+class TestServingAttribution:
+    def test_replica_retirement_attributed_to_autoscaler(self):
+        from repro.experiments.common import campus_trace, run_policy
+        from repro.experiments.serving import serving_quota, serving_workload
+        from repro.serving import AutoscalerConfig, ServingFleet
+
+        trace = campus_trace(0, 0.25, days=0.25)
+        fleet = ServingFleet(
+            serving_workload(1.0), days=0.25, autoscaler=AutoscalerConfig(enabled=True)
+        )
+        result = run_policy(
+            TieredQuotaScheduler(serving_quota(trace)),
+            trace,
+            serving=fleet,
+            sim_config=SimConfig(sample_interval_s=0.0),
+        )
+        retire = [t for t in result.transitions if t.cause is Cause.SERVICE_RETIRE]
+        assert retire, "fleet never retired a replica"
+        assert all(t.actor is Actor.AUTOSCALER for t in retire)
+        assert all(t.detail in ("horizon", "scale_down") for t in retire)
+
+
+class TestTcloudHistory:
+    def test_history_shows_full_lifecycle(self):
+        from repro.schema.taskspec import ResourceSpec, TaskSpec
+        from repro.tcloud.frontend import TaccFrontend
+
+        frontend = TaccFrontend()
+        spec = TaskSpec(
+            name="hist",
+            entrypoint="python train.py",
+            resources=ResourceSpec(num_gpus=1, walltime_hours=1.0),
+        )
+        job_id, _compile, _warnings = frontend.submit(spec, duration_hint_s=600.0)
+        frontend.advance_until_done(job_id)
+        targets = [t.target for t in frontend.history(job_id)]
+        assert targets == [
+            LifecycleState.ADMITTED,
+            LifecycleState.RUNNING,
+            LifecycleState.FINISHED,
+        ]
+        assert all(line for line in (t.oneline() for t in frontend.history(job_id)))
+
+    def test_history_unknown_job_raises(self):
+        from repro.errors import SimulationError
+        from repro.tcloud.frontend import TaccFrontend
+
+        with pytest.raises(SimulationError):
+            TaccFrontend().history("job-nope")

@@ -1,0 +1,61 @@
+"""Refactor golden: the control-plane extraction changed no observable number.
+
+``tests/data/lifecycle_golden.json`` was captured on the pre-controlplane
+simulator (every mutation hand-rolled inside ``ClusterSimulator``).  These
+tests replay the same five lifecycle-heavy scenarios — failure injection,
+wall-time kills, preemption limits, gang time-slicing, elastic resizing,
+tiered-quota reclaim, co-located serving — and demand byte-identical
+``summary()`` output.  Together with ``test_golden_determinism`` (T2) and
+``test_serving_golden`` (S1) this pins the T1–T5/F1–F11/S1–S2 metric
+surface across the refactor.
+
+Regenerate the fixture ONLY for an intentional behaviour change:
+``PYTHONPATH=src python scripts/capture_lifecycle_golden.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURE = REPO / "tests" / "data" / "lifecycle_golden.json"
+
+
+def _load_capture_module():
+    spec = importlib.util.spec_from_file_location(
+        "capture_lifecycle_golden", REPO / "scripts" / "capture_lifecycle_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_capture = _load_capture_module()
+GOLDEN: dict[str, dict[str, float]] = json.loads(FIXTURE.read_text())
+SCENARIOS = {name: (make, kwargs, trace) for name, make, kwargs, trace in _capture.scenarios()}
+
+
+def test_fixture_covers_all_scenarios():
+    assert set(GOLDEN) == set(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_summary_byte_identical(name):
+    from repro.experiments.common import fresh_trace_copy, run_policy
+
+    make, kwargs, trace = SCENARIOS[name]
+    result = run_policy(make(), fresh_trace_copy(trace), **kwargs)
+    summary = result.summary()
+    golden = GOLDEN[name]
+    assert set(summary) == set(golden)
+    for key, expected in golden.items():
+        actual = summary[key]
+        if expected == "nan":
+            assert math.isnan(actual), f"{name}.{key}: expected NaN, got {actual}"
+        else:
+            assert actual == expected, f"{name}.{key}: {actual} != {expected}"
