@@ -1,0 +1,44 @@
+"""Regenerate the committed simlint baseline (``simlint-baseline.json``).
+
+The CI gate fails on any finding not in the baseline, so the baseline is
+the set of *grandfathered* findings — violations that predate a rule and
+are queued for cleanup.  Regenerate it ONLY when:
+
+* a new rule lands and fixing every existing violation in the same PR is
+  out of scope (the baseline grows — explain each entry in the PR), or
+* baselined findings were fixed (the baseline shrinks — always fine).
+
+Never regenerate to absorb a violation your own change introduced: fix it
+or add an inline ``# simlint: disable=RULE`` with a reason comment.
+
+Usage: PYTHONPATH=src python scripts/simlint_baseline.py [paths…]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "simlint-baseline.json"
+DEFAULT_PATHS = (REPO / "src", REPO / "benchmarks")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [Path(p) for p in argv] or list(DEFAULT_PATHS)
+    report = analyze_paths(paths)
+    Baseline.from_findings(report.findings).save(OUT)
+    for finding in report.findings:
+        print(finding.render())
+    print(
+        f"simlint baseline: {len(report.findings)} finding(s) over "
+        f"{report.files_analyzed} file(s) -> {OUT.relative_to(REPO)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

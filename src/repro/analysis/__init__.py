@@ -1,0 +1,49 @@
+"""simlint: AST-based static enforcement of the simulator's invariants.
+
+The golden tests pin *that* runs are reproducible; this package pins *why*
+— by making the practices that keep them reproducible (seed-threaded RNG,
+engine-clock time, control-plane-owned mutation, explicit event ordering)
+machine-checkable at review time instead of tribal knowledge:
+
+==== ====================== =====================================================
+Rule Name                   Invariant
+==== ====================== =====================================================
+R1   unseeded-rng           no ambient random/numpy.random state in sim code
+R2   wall-clock             no host-clock reads where the engine clock rules
+R3   lifecycle-write        job lifecycle fields mutate only via the control plane
+R4   event-priority         every Event subclass holds a unique PRIORITY rank
+R5   float-equality         no exact float ==/!= in result-producing code
+R6   unordered-iteration    no bare set iteration in order-sensitive paths
+R7   stray-deepcopy         live sims copy only via controlplane/snapshot.py
+R8   exception-hygiene      no bare/swallowed broad excepts; lifecycle errors
+                            propagate
+==== ====================== =====================================================
+
+Front doors: ``python -m repro.analysis [paths…]`` and ``tcloud lint``.
+Waivers: ``# simlint: disable=R3`` inline (see
+:mod:`repro.analysis.suppressions`) or the committed baseline
+(:mod:`repro.analysis.baseline`).  CI fails on any non-baselined finding.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .context import FileContext
+from .findings import Finding
+from .registry import BaseRule, ProjectRule, Rule, all_rules, rule_by_id
+from .runner import AnalysisReport, analyze_contexts, analyze_paths, analyze_source
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaseRule",
+    "FileContext",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "analyze_contexts",
+    "analyze_paths",
+    "analyze_source",
+    "rule_by_id",
+]

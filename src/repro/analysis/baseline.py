@@ -1,0 +1,71 @@
+"""Grandfathered-findings baseline.
+
+A committed JSON baseline lets the CI gate demand *zero new findings*
+without requiring the whole tree to be fixed in the same PR that adds a
+rule.  Entries key on ``(rule, path, stripped source line)`` with a
+multiplicity count — line numbers are deliberately absent so unrelated
+edits above a grandfathered finding do not invalidate it.  Fixing a
+baselined finding and regenerating (``scripts/simlint_baseline.py``)
+shrinks the file; the gate never lets it grow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered findings."""
+
+    counts: Counter[tuple[str, str, str]] = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(counts=Counter(f.baseline_key for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported simlint baseline version {data.get('version')!r} "
+                f"in {path} (expected {_VERSION})"
+            )
+        counts: Counter[tuple[str, str, str]] = Counter()
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["source_line"])
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts=counts)
+
+    def save(self, path: str | Path) -> None:
+        entries = [
+            {"rule": rule, "path": file_path, "source_line": source_line, "count": count}
+            for (rule, file_path, source_line), count in sorted(self.counts.items())
+        ]
+        payload = {"version": _VERSION, "findings": entries}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition *findings* into (new, baselined).
+
+        Multiplicity-aware: a baseline entry with count N absorbs at most N
+        matching findings; the N+1st is new.
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            if remaining[finding.baseline_key] > 0:
+                remaining[finding.baseline_key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,122 @@
+"""Rules R1/R2: simulation code must be a pure function of the seed.
+
+The golden tests pin byte-identical summaries; both rules close the two
+classic leaks — ambient RNG state and the host's wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import scopes
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: numpy.random attributes that *construct* seeded generators (allowed).
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "BitGenerator"}
+)
+
+#: Wall-clock reads that leak host time into a simulation.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class UnseededRngRule(Rule):
+    """R1: no ambient ``random`` / ``numpy.random`` state in simulation code."""
+
+    id = "R1"
+    name = "unseeded-rng"
+    rationale = (
+        "Module-level RNG state makes runs depend on import order and prior "
+        "draws; every stochastic component must thread a numpy Generator "
+        "seeded from SimConfig so one seed determines the whole run."
+    )
+    scope = scopes.SIMULATION
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            "stdlib 'random' uses hidden module-level state; "
+                            "thread a numpy.random.Generator from SimConfig instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "stdlib 'random' uses hidden module-level state; "
+                        "thread a numpy.random.Generator from SimConfig instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = ctx.imports.resolve_call_chain(node.func)
+                if dotted is None:
+                    continue
+                if dotted.startswith("random."):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"call to stdlib '{dotted}' draws from hidden global RNG "
+                        "state; thread a seeded numpy.random.Generator instead",
+                    )
+                elif dotted.startswith("numpy.random."):
+                    attr = dotted.split(".")[-1]
+                    if attr not in _SEEDED_CONSTRUCTORS:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"'{dotted}' draws from numpy's global RNG; use a "
+                            "Generator threaded from SimConfig "
+                            "(numpy.random.default_rng(seed))",
+                        )
+
+
+@register
+class WallClockRule(Rule):
+    """R2: no host wall-clock reads in simulation code."""
+
+    id = "R2"
+    name = "wall-clock"
+    rationale = (
+        "Simulated time is the engine's clock; reading the host clock makes "
+        "behaviour machine- and load-dependent. Observational timing (perf "
+        "counters) must never feed a simulated decision and needs an "
+        "explicit inline waiver."
+    )
+    scope = scopes.SIMULATION
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.imports.resolve_call_chain(node.func)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"wall-clock read '{dotted}' in simulation code; use the "
+                    "engine clock ('now') — or waive explicitly if this is "
+                    "observational-only timing",
+                )

@@ -1,0 +1,86 @@
+"""Rule R8: exception hygiene — errors surface, they are not swallowed.
+
+The control plane turns illegal mutations into ``IllegalTransitionError``;
+that design only protects the invariants if nobody quietly catches it.
+Likewise, a bare ``except:`` (or a no-op ``except Exception:``) converts
+any invariant violation — including the analyzer's own runtime cousins,
+``SimulationError`` and ``AllocationError`` — into silent state corruption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_GUARDED = frozenset({"IllegalTransitionError"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    exprs: list[ast.expr] = []
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        exprs = list(node.elts)
+    else:
+        exprs = [node]
+    names: set[str] = set()
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.add(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.add(expr.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """R8: no bare excepts, no swallowed broad or lifecycle exceptions."""
+
+    id = "R8"
+    name = "exception-hygiene"
+    rationale = (
+        "Swallowing broad exceptions converts invariant violations into "
+        "silent state corruption; IllegalTransitionError in particular is "
+        "the control plane refusing an illegal mutation and must propagate "
+        "(or be explicitly waived with a reason)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the exception types",
+                )
+                continue
+            caught = _caught_names(node)
+            if caught & _GUARDED and not _reraises(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "IllegalTransitionError swallowed; the control plane "
+                    "refused an illegal mutation — let it propagate or "
+                    "re-raise with context",
+                )
+            elif caught & _BROAD and not _reraises(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "broad exception caught without re-raising; narrow the "
+                    "type or re-raise — silent failure hides invariant "
+                    "violations",
+                )

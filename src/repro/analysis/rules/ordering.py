@@ -1,0 +1,128 @@
+"""Rule R6: no iteration over unordered sets in order-sensitive paths.
+
+Python string hashing is salted per process: iterating a ``set`` of job or
+node ids visits them in a different order every run unless
+``PYTHONHASHSEED`` happens to be pinned.  In scheduler/placement hot paths
+that order decides who places first, which ``min()`` tie wins, and in what
+order floats accumulate — all things the golden tests pin.  The rule does
+lightweight local type inference: names bound to set-producing expressions
+within a scope count as sets, so ``types = {…}; min(types, …)`` is caught
+two statements apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import scopes
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({"union", "intersection", "difference", "symmetric_difference"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+#: Builtins whose single-iterable form consumes order.
+_ORDER_CONSUMERS = frozenset({"min", "max", "sum", "list", "tuple", "enumerate", "zip"})
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk *root* without descending into nested function scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_set_expr(func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        # `-`/`|`/`&`/`^` are set-valued only when a side provably is —
+        # a bare `a - b` on unknown names stays unflagged (ints!).
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, set_names) or _is_set_expr(node.orelse, set_names)
+    return False
+
+
+def _set_names_of(scope: ast.AST) -> set[str]:
+    """Names bound to set-producing expressions inside *scope* (fixpoint)."""
+    names: set[str] = set()
+    for _ in range(2):  # two passes resolve one level of chaining
+        for node in _walk_scope(scope):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if (
+                isinstance(target, ast.Name)
+                and value is not None
+                and _is_set_expr(value, names)
+            ):
+                names.add(target.id)
+    return names
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """R6: set iteration without an explicit order in hot paths."""
+
+    id = "R6"
+    name = "unordered-iteration"
+    rationale = (
+        "Set iteration order is salted per process; in scheduler/placement "
+        "paths it decides placements, min/max tie winners and float "
+        "accumulation order. Wrap the set in sorted(...) with an explicit "
+        "key before iterating."
+    )
+    scope = scopes.ORDER_SENSITIVE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        functions = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in [ctx.tree, *functions]:
+            set_names = _set_names_of(scope)
+            for node in _walk_scope(scope):
+                for iterable, how in self._iteration_sites(node):
+                    if _is_set_expr(iterable, set_names):
+                        yield ctx.finding(
+                            self.id,
+                            iterable,
+                            f"{how} over an unordered set in an order-sensitive "
+                            "path; iterate sorted(...) with an explicit key",
+                        )
+
+    @staticmethod
+    def _iteration_sites(node: ast.AST) -> Iterator[tuple[ast.expr, str]]:
+        if isinstance(node, ast.For):
+            yield node.iter, "iteration"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                yield generator.iter, "comprehension"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name not in _ORDER_CONSUMERS:
+                return
+            if name in ("min", "max") and len(node.args) != 1:
+                return  # scalar form min(a, b) compares values, not order
+            for arg in node.args:
+                yield arg, f"{name}()"

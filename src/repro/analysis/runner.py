@@ -1,0 +1,136 @@
+"""simlint driver: collect files, run rules, apply suppressions + baseline.
+
+The runner is the only component that touches the filesystem; rules see
+:class:`~repro.analysis.context.FileContext` objects, so tests (and the
+``tcloud lint`` verb) can analyze in-memory sources under virtual paths.
+File order, finding order and report text are all deterministically sorted
+— the analyzer is held to the same reproducibility bar it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline
+from .context import FileContext
+from .findings import Finding
+from .registry import BaseRule, ProjectRule, Rule, all_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+#: Path fragments excluded from analysis (intentional-violation fixtures).
+_SKIP_FRAGMENTS = ("tests/data/simlint",)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand *paths* to a sorted, de-duplicated list of ``.py`` files."""
+    collected: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            collected.add(path.resolve())
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"simlint: no such file or directory: {path}")
+        for candidate in path.rglob("*.py"):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS:
+                continue
+            posix = candidate.as_posix()
+            if any(fragment in posix for fragment in _SKIP_FRAGMENTS):
+                continue
+            collected.add(candidate.resolve())
+    return sorted(collected)
+
+
+def _display_path(path: Path) -> str:
+    """Posix path relative to the working directory when possible."""
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run, before baseline partitioning."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    def partition(self, baseline: Baseline | None) -> tuple[list[Finding], list[Finding]]:
+        if baseline is None:
+            return list(self.findings), []
+        return baseline.split(self.findings)
+
+
+def analyze_contexts(
+    contexts: Sequence[FileContext], rules: Iterable[BaseRule] | None = None
+) -> AnalysisReport:
+    """Run every rule over already-built contexts."""
+    active = tuple(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for ctx in contexts:
+        findings.extend(ctx.suppressions.errors)
+    for rule in active:
+        if isinstance(rule, Rule):
+            for ctx in contexts:
+                if rule.applies_to(ctx):
+                    findings.extend(rule.check(ctx))
+        elif isinstance(rule, ProjectRule):
+            scoped = [ctx for ctx in contexts if rule.applies_to(ctx)]
+            findings.extend(rule.check_project(scoped))
+    kept = [
+        finding
+        for finding in findings
+        if finding.rule_id == "S0"
+        or not _suppressed(contexts, finding)
+    ]
+    kept.sort(key=lambda f: f.sort_key)
+    return AnalysisReport(
+        findings=kept,
+        files_analyzed=len(contexts),
+        rules_run=tuple(rule.id for rule in active),
+    )
+
+
+def _suppressed(contexts: Sequence[FileContext], finding: Finding) -> bool:
+    for ctx in contexts:
+        if ctx.path == finding.path:
+            return ctx.suppressions.is_suppressed(finding.rule_id, finding.line)
+    return False
+
+
+def analyze_source(source: str, path: str) -> list[Finding]:
+    """Analyze one in-memory source under a virtual *path* (test helper)."""
+    return analyze_contexts([FileContext.from_source(source, path)]).findings
+
+
+def analyze_paths(paths: Sequence[str | Path]) -> AnalysisReport:
+    """Analyze every Python file reachable from *paths*."""
+    contexts: list[FileContext] = []
+    parse_errors: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        display = _display_path(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            contexts.append(FileContext.from_source(source, display))
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    rule_id="P0",
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    report = analyze_contexts(contexts)
+    report.findings = sorted(
+        report.findings + parse_errors, key=lambda f: f.sort_key
+    )
+    report.files_analyzed += len(parse_errors)
+    return report

@@ -175,7 +175,7 @@ class Topology:
         if len(unique) == 1:
             self.rack_of(next(iter(unique)))
             return Locality.SAME_NODE
-        racks = {self.rack_of(n) for n in unique}
+        racks = {self.rack_of(n) for n in nodes}
         return Locality.SAME_RACK if len(racks) == 1 else Locality.CROSS_RACK
 
     def racks_spanned(self, nodes: list[NodeId]) -> int:

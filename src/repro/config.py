@@ -94,7 +94,9 @@ def _resolve_annotation(annotation: str, owner: type) -> Any:
         namespace.update(vars(module))
     try:
         return eval(annotation, namespace)  # noqa: S307 - controlled input
-    except Exception:
+    except Exception:  # simlint: disable=R8
+        # Deliberate degradation: annotations that can't be evaluated in the
+        # owner module's namespace fall back to Any rather than failing load.
         return Any
 
 

@@ -23,8 +23,8 @@ authoritative record that it happened.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable, Protocol
 
 from ..cluster.cluster import Cluster
 from ..errors import SchedulingError, SimulationError
@@ -133,6 +133,15 @@ class ClusterController:
         """Reject an arriving job at submission (infeasible / no partition)."""
         job.kill(now)
         self._apply(now, job, LifecycleState.KILLED, Cause.REJECT, Actor.ADMISSION)
+
+    def restrict_to_partition(self, job: Job, node_ids: Iterable[NodeId]) -> None:
+        """Pin an arriving job's placement to its partition's node set.
+
+        Rewriting the request is a job mutation, so it lives here rather
+        than in the simulator's arrival handler: admission routing is
+        control, not simulation.
+        """
+        job.request = replace(job.request, allowed_nodes=frozenset(node_ids))
 
     # -- placement ----------------------------------------------------------------
 
@@ -244,7 +253,9 @@ class ClusterController:
             raise SchedulingError(
                 f"scheduler tried to preempt {job.job_id} in state {job.state.value}"
             )
-        if not job.preemptible:
+        # Consent is the policy's call: borrowed runs are evictable even
+        # though the job itself (guaranteed tier) is not.
+        if not self.scheduler.is_preemptible(job):
             raise SchedulingError(f"job {job.job_id} is not preemptible")
         self._release(now, job)
         job.preempt(now, checkpoint_loss=self.checkpoint_loss_s)

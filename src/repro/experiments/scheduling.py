@@ -156,8 +156,10 @@ def run_f11_gang(seed: int, scale: float) -> ExperimentResult:
         load=1.1,  # slicing only matters when demand exceeds capacity
         interactive_fraction=0.3,
     )
+    # Trace construction: these jobs predate any simulator/control plane, so
+    # flipping the consent flag here is workload synthesis, not a state write.
     for job in trace:
-        job.preemptible = True  # slicing requires consent to preemption
+        job.preemptible = True  # simlint: disable=R3  (slicing needs consent)
     policies = {
         "backfill-easy": make_scheduler("backfill-easy"),
         "gang-30min": GangScheduler(quantum_s=1800.0),
@@ -167,7 +169,7 @@ def run_f11_gang(seed: int, scale: float) -> ExperimentResult:
     for name, scheduler in policies.items():
         run_trace = fresh_trace_copy(trace)
         for job in run_trace:
-            job.preemptible = True
+            job.preemptible = True  # simlint: disable=R3  (fresh trace copy)
         result = run_policy(scheduler, run_trace)
         jobs = list(result.jobs.values())
         interactive = [

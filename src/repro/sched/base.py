@@ -113,6 +113,18 @@ class Scheduler(abc.ABC):
         """
         return None
 
+    def is_preemptible(self, job: Job) -> bool:
+        """Whether the policy may evict *job* right now.
+
+        The default is the job's own (tier-derived) consent.  Policies
+        that grant *conditional* placements — quota borrowing, where a
+        guaranteed job runs on idle capacity only until an entitled job
+        wants it back — override this instead of mutating
+        ``job.preemptible``: eviction consent is policy state, and the
+        control plane consults the policy when validating a preemption.
+        """
+        return bool(job.preemptible)
+
     @abc.abstractmethod
     def schedule(self, ctx: ScheduleContext) -> None:
         """Run one scheduling pass using the context callbacks."""

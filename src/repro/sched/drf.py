@@ -81,8 +81,10 @@ class DrfScheduler(Scheduler):
         # Progressive filling: repeatedly offer to the poorest user.
         active = set(pending)
         while active:
+            # The key tie-breaks on the user id itself, a total order, so the
+            # min over the set is deterministic despite hash iteration order.
             user = min(
-                active,
+                active,  # simlint: disable=R6
                 key=lambda u: (self.dominant_share(usage.get(u, (0.0, 0.0, 0.0)), totals), u),
             )
             job = pending[user][0]

@@ -83,7 +83,8 @@ class TieredQuotaScheduler(Scheduler):
         self.quota = quota
         #: Running jobs charged against their lab's quota.
         self._charged: dict[JobId, LabId] = {}
-        #: Guaranteed jobs currently running as borrowers (made preemptible).
+        #: Guaranteed jobs currently running as borrowers (evictable via
+        #: :meth:`is_preemptible` while they hold borrowed capacity).
         self._borrowed: set[JobId] = set()
 
     # -- accounting ----------------------------------------------------------------
@@ -114,10 +115,16 @@ class TieredQuotaScheduler(Scheduler):
         # A preempted borrower returns to the queue; it may be entitled next
         # time (quota may have freed), so clear its borrowed status.
         self._charged.pop(job.job_id, None)
-        if job.job_id in self._borrowed:
-            self._borrowed.discard(job.job_id)
-            if job.tier is JobTier.GUARANTEED:
-                job.preemptible = False
+        self._borrowed.discard(job.job_id)
+
+    def is_preemptible(self, job: Job) -> bool:
+        """Borrowed runs consent to eviction regardless of the job's tier.
+
+        Borrowing is scheduler state (``_borrowed``), not a property of the
+        job — mutating ``job.preemptible`` here would bypass the control
+        plane and leak policy state into the workload model.
+        """
+        return bool(job.preemptible) or job.job_id in self._borrowed
 
     # -- scheduling -------------------------------------------------------------------
 
@@ -156,7 +163,6 @@ class TieredQuotaScheduler(Scheduler):
                 # Borrowed run: counts nothing against quota, but is
                 # evictable the moment an entitled job needs the GPUs.
                 self._borrowed.add(job.job_id)
-                job.preemptible = True
             ctx.start_job(job, placement)
 
     def _reclaim(
@@ -172,7 +178,7 @@ class TieredQuotaScheduler(Scheduler):
         gpu_type = job.request.gpu_type
         victims = []
         for running in ctx.running.values():
-            if not running.preemptible or running.job_id in self._charged:
+            if not self.is_preemptible(running) or running.job_id in self._charged:
                 continue
             if gpu_type is not None:
                 on_eligible = any(

@@ -195,8 +195,10 @@ class ServingFleet:
         from ..cluster.gpu import get_gpu_spec
 
         shape = shape_from_placement(dict(placement), cluster)
+        # sorted(): equal-speed GPU types must tie-break by name, not by
+        # set hash order, or replica rates drift across processes.
         gpu_types = {cluster.node(n).spec.gpu_type for n in placement}
-        slowest = min(gpu_types, key=lambda t: get_gpu_spec(t).relative_speed)
+        slowest = min(sorted(gpu_types), key=lambda t: get_gpu_spec(t).relative_speed)
         iteration_s = simulator.exec_model.iteration_time_s(job, shape, slowest)
         if iteration_s <= 0:
             raise SimulationError(f"non-positive iteration time for replica {job.job_id}")

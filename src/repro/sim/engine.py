@@ -11,12 +11,14 @@ which :mod:`heapq` does not provide.
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Callable, TypeVar, cast
 
 from ..errors import EventOrderError, SimulationError
 from .events import Event, priority_of
 
 Handler = Callable[[float, Event], None]
+
+E = TypeVar("E", bound=Event)
 
 
 class SimulationEngine:
@@ -35,19 +37,21 @@ class SimulationEngine:
         self.events_processed: int = 0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
-        self._handlers: dict[type, Handler] = {}
+        self._handlers: dict[type[Event], Handler] = {}
         self._stopped = False
         # Pending events by concrete type, so has_pending() is O(#types)
         # instead of scanning the heap.
-        self._pending_counts: dict[type, int] = {}
+        self._pending_counts: dict[type[Event], int] = {}
 
     # -- configuration ---------------------------------------------------------
 
-    def register(self, event_type: type, handler: Handler) -> None:
+    def register(self, event_type: type[E], handler: Callable[[float, E], None]) -> None:
         """Register the handler for an event type (one handler per type)."""
         if event_type in self._handlers:
             raise SimulationError(f"handler for {event_type.__name__} already registered")
-        self._handlers[event_type] = handler
+        # The dict erases E; dispatch only ever calls a handler with an
+        # instance of the exact type it was registered under.
+        self._handlers[event_type] = cast(Handler, handler)
 
     # -- scheduling -------------------------------------------------------------
 
@@ -78,7 +82,7 @@ class SimulationEngine:
         """Timestamp of the next event, or ``None`` when the queue is empty."""
         return self._heap[0][0] if self._heap else None
 
-    def has_pending(self, event_type: type) -> bool:
+    def has_pending(self, event_type: type[Event]) -> bool:
         """True when any queued event is an instance of *event_type*."""
         return any(
             count > 0 and issubclass(queued_type, event_type)

@@ -111,7 +111,7 @@ class ServiceScaleUp(Event):
 #: changes land first (they decide scaling), scale-downs free capacity
 #: before scale-ups ask for it, and the SchedulerTick that places the new
 #: replica jobs runs after all of them.
-PRIORITY: dict[type, int] = {
+PRIORITY: dict[type[Event], int] = {
     JobFinish: 0,
     StageComplete: 1,
     NodeRepair: 2,

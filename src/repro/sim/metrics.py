@@ -16,6 +16,7 @@ percentiles, per-tier breakdowns, preemption and failure counts, makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -23,7 +24,9 @@ from ..errors import SimulationError
 from ..workload.job import FailureCategory, Job, JobState, JobTier
 
 
-def percentiles(values, points=(50, 90, 95, 99)) -> dict[str, float]:
+def percentiles(
+    values: Iterable[float], points: Sequence[int] = (50, 90, 95, 99)
+) -> dict[str, float]:
     """Named percentiles of a sequence (empty input → all NaN)."""
     array = np.asarray(list(values), dtype=float)
     if array.size == 0:

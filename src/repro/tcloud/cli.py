@@ -10,6 +10,8 @@ Subcommands mirror the real tool's workflow against a simulated cluster:
 * ``tcloud info`` — cluster composition and queue state
 * ``tcloud top [--advance H]`` — live operator dashboard
 * ``tcloud profiles [--config PATH]`` — list configured cluster profiles
+* ``tcloud lint [paths…]`` — simlint invariant analysis (same flags and
+  exit codes as ``python -m repro.analysis``)
 * ``tcloud demo`` — a scripted multi-job session exercising monitoring,
   preemption and log aggregation
 
@@ -123,6 +125,12 @@ def cmd_profiles(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from ..analysis.__main__ import main as simlint_main
+
+    return simlint_main(list(args.lint_args))
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     client = TcloudClient(_config(args))
     _print("# tcloud demo: three jobs on the simulated campus cluster")
@@ -203,12 +211,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_profiles = sub.add_parser("profiles", help="list cluster profiles")
     p_profiles.set_defaults(func=cmd_profiles)
 
+    p_lint = sub.add_parser(
+        "lint", help="run the simlint invariant analyzer (python -m repro.analysis)"
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="paths and flags forwarded to the analyzer (see its --help)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
     p_demo = sub.add_parser("demo", help="run a scripted demo session")
     p_demo.set_defaults(func=cmd_demo)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # argparse's REMAINDER does not capture leading options ("tcloud lint
+    # --list-rules"), so the lint verb forwards its argv wholesale.
+    if argv and argv[0] == "lint":
+        from ..analysis.__main__ import main as simlint_main
+
+        return simlint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,10 @@
+"""R1 bad: ambient RNG state in simulation code."""
+
+import random
+
+import numpy as np
+
+
+def jitter(base):
+    noisy = base + random.random()
+    return noisy + np.random.rand()

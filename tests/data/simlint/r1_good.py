@@ -1,0 +1,8 @@
+"""R1 good: a seeded generator threaded from config."""
+
+import numpy as np
+
+
+def jitter(base, seed):
+    rng = np.random.default_rng(seed)
+    return base + float(rng.random())

@@ -1,0 +1,7 @@
+"""R2 bad: host wall-clock read inside simulation code."""
+
+import time
+
+
+def stamp(event):
+    return (time.time(), event)

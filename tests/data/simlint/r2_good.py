@@ -1,0 +1,5 @@
+"""R2 good: simulated time comes from the engine clock."""
+
+
+def stamp(now, event):
+    return (now, event)

@@ -1,0 +1,7 @@
+"""R3 bad: lifecycle fields written outside the control plane."""
+
+
+def force_finish(job, now):
+    job.state = "COMPLETED"
+    job.end_time = now
+    job.attempts += 1

@@ -1,0 +1,13 @@
+"""R3 good: mutations routed through the controller; own state is fine."""
+
+
+class PolicyState:
+    def __init__(self):
+        self.state = "idle"
+
+    def reset(self):
+        self.state = "idle"
+
+
+def finish(controller, job, now):
+    controller.finish(now, job, "complete", None)

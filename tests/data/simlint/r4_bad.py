@@ -1,0 +1,23 @@
+"""R4 bad: an unranked event class and a duplicated rank."""
+
+
+class Event:
+    pass
+
+
+class JobFinish(Event):
+    pass
+
+
+class JobArrival(Event):
+    pass
+
+
+class StrayEvent(Event):
+    pass
+
+
+PRIORITY = {
+    JobFinish: 0,
+    JobArrival: 0,
+}

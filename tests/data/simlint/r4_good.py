@@ -1,0 +1,19 @@
+"""R4 good: every event class holds a unique PRIORITY rank."""
+
+
+class Event:
+    pass
+
+
+class JobFinish(Event):
+    pass
+
+
+class JobArrival(Event):
+    pass
+
+
+PRIORITY = {
+    JobFinish: 0,
+    JobArrival: 1,
+}

@@ -1,0 +1,7 @@
+"""R5 bad: exact float equality on an aggregated value."""
+
+
+def classify(utilization):
+    if utilization == 1.0:
+        return "saturated"
+    return "ok"

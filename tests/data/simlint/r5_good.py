@@ -1,0 +1,9 @@
+"""R5 good: tolerance comparison instead of exact equality."""
+
+import math
+
+
+def classify(utilization):
+    if math.isclose(utilization, 1.0):
+        return "saturated"
+    return "ok"

@@ -1,0 +1,8 @@
+"""R6 good: explicit order before iterating a set."""
+
+
+def pick(node_ids, load):
+    candidates = {n for n in node_ids if load[n] < 1.0}
+    for node in sorted(candidates):
+        return node
+    return None

@@ -1,0 +1,7 @@
+"""R7 bad: ad hoc deepcopy of a live simulation object."""
+
+import copy
+
+
+def fork(simulator):
+    return copy.deepcopy(simulator)

@@ -1,0 +1,5 @@
+"""R7 good: snapshots go through the audited control-plane path."""
+
+
+def fork(controller):
+    return controller.snapshot().fork()

@@ -1,0 +1,15 @@
+"""R8 bad: swallowed exceptions hide invariant violations."""
+
+
+def apply(controller, job, now):
+    try:
+        controller.preempt(now, job)
+    except:  # noqa: E722
+        pass
+
+
+def apply_quietly(controller, job, now):
+    try:
+        controller.preempt(now, job)
+    except Exception:
+        return None

@@ -1,0 +1,12 @@
+"""R8 good: narrow handling; broad catches re-raise."""
+
+
+def apply(controller, job, now, log):
+    try:
+        controller.preempt(now, job)
+    except KeyError:
+        return False
+    except Exception as exc:
+        log.append(f"preempt failed: {exc}")
+        raise
+    return True

@@ -173,7 +173,7 @@ class TestControllerPaths:
         """kill_job and preempt must leave cluster/index/quota state identical."""
         def borrower():
             # lab-b exceeds its 8-GPU share -> the surplus job is borrowed
-            # capacity, charged to lab-b and marked preemptible on start.
+            # capacity, evictable via the scheduler's is_preemptible policy.
             return [
                 make_job("base", num_gpus=8, duration=9000.0, lab="lab-b"),
                 make_job("victim", num_gpus=8, duration=9000.0, lab="lab-b"),
@@ -185,7 +185,8 @@ class TestControllerPaths:
             sim.engine.run(until=10.0)
             victim = sim.jobs["victim"]
             assert victim.state is JobState.RUNNING
-            assert victim.preemptible  # borrowed capacity is reclaimable
+            assert scheduler.is_preemptible(victim)  # borrowed => reclaimable
+            assert not victim.preemptible  # ...without mutating the job itself
             if mode == "kill":
                 sim.kill_job("victim")
             else:
