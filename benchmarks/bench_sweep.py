@@ -1,0 +1,151 @@
+"""Benchmark: the sweep engine — serial vs fan-out vs warm cache.
+
+Regenerates the full experiment suite four ways and checks the engine's
+two contracts while timing them:
+
+* **determinism** — rendered output is identical whichever way cells
+  execute (serial / worker pool / cache replay); only F10's wall-clock
+  columns may differ between separate *cold* runs, and even those replay
+  byte-identically from the cache because ``wall_s`` is part of the
+  cached result;
+* **performance** — the warm-cache run skips every simulation.
+
+Results go to ``BENCH_sweep.json`` at the repo root.  The recorded
+``cpu_count``/``usable_cpus`` qualify the parallel number: fan-out can
+only beat serial when the runner actually has spare cores, so on a
+single-core machine the pool's spawn overhead makes it *slower* — the
+cache, not the pool, is the win there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import sweep
+from repro.experiments import EXPERIMENTS
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_sweep.json"
+
+#: F10's rendered rows include wall-clock columns, so two *cold* runs of
+#: it differ; every other experiment renders pure simulation output.
+TIMING_SENSITIVE = {"F10"}
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def run_suite(seed: int, scale: float, **engine) -> tuple[dict[str, str], dict]:
+    """Render every experiment under one sweep-engine configuration."""
+    rendered: dict[str, str] = {}
+    with sweep.execution(**engine) as runner:
+        for experiment_id, spec in EXPERIMENTS.items():
+            rendered[experiment_id] = spec.run(seed=seed, scale=scale).render()
+        stats = runner.stats.snapshot()
+    return rendered, stats
+
+
+def assert_identical(a: dict[str, str], b: dict[str, str], *, strict: bool) -> None:
+    for experiment_id in a:
+        if not strict and experiment_id in TIMING_SENSITIVE:
+            continue
+        assert a[experiment_id] == b[experiment_id], (
+            f"{experiment_id} rendered differently across execution modes"
+        )
+
+
+def test_sweep_engine(request, benchmark, capsys, tmp_path):
+    scale = float(request.config.getoption("--repro-scale"))
+    seed = int(request.config.getoption("--repro-seed"))
+    pool_jobs = max(2, min(4, _usable_cpus()))
+    cache_dir = tmp_path / "sweep-cache"
+
+    # 1. cold serial, no cache — the baseline everything compares against
+    started = time.perf_counter()
+    serial, serial_stats = benchmark.pedantic(
+        lambda: run_suite(seed, scale, jobs=1, no_cache=True),
+        rounds=1,
+        iterations=1,
+    )
+    cold_serial_s = time.perf_counter() - started
+
+    # 2. cold fan-out, no cache — same bytes, modulo F10's wall clocks
+    started = time.perf_counter()
+    parallel, _ = run_suite(seed, scale, jobs=pool_jobs, no_cache=True)
+    cold_parallel_s = time.perf_counter() - started
+    assert_identical(serial, parallel, strict=False)
+
+    # 3. cold serial populating the cache
+    started = time.perf_counter()
+    populate, _ = run_suite(seed, scale, jobs=1, cache_dir=cache_dir)
+    cold_cached_s = time.perf_counter() - started
+    assert_identical(serial, populate, strict=False)
+
+    # 4. warm replay — byte-identical INCLUDING F10 (wall_s is cached)
+    started = time.perf_counter()
+    warm, warm_stats = run_suite(seed, scale, jobs=1, cache_dir=cache_dir)
+    warm_s = time.perf_counter() - started
+    assert_identical(populate, warm, strict=True)
+    assert warm_stats["cache_misses"] == 0
+    assert warm_stats["cache_hits"] == warm_stats["cells"]
+    assert warm_stats["traces_synthesized"] == 0
+
+    entry = {
+        "date": "latest",
+        "seed": seed,
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": _usable_cpus(),
+        "pool_jobs": pool_jobs,
+        "cells": serial_stats["cells"],
+        "traces_synthesized": serial_stats["traces_synthesized"],
+        "trace_memo_hits": serial_stats["trace_memo_hits"],
+        "cold_serial_s": round(cold_serial_s, 3),
+        "cold_parallel_s": round(cold_parallel_s, 3),
+        "cold_cached_s": round(cold_cached_s, 3),
+        "warm_s": round(warm_s, 3),
+        "parallel_speedup": round(cold_serial_s / cold_parallel_s, 3),
+        "warm_fraction_of_cold": round(warm_s / cold_serial_s, 3),
+    }
+    doc = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {
+        "benchmark": (
+            "sweep engine: full experiment suite regenerated cold-serial, "
+            "cold-parallel, cold-cached, and warm-cache; run "
+            "benchmarks/bench_sweep.py to refresh the 'latest' entry"
+        ),
+        "determinism": (
+            "all four modes render byte-identical output (F10's wall-clock "
+            "columns excepted between separate cold runs; the warm replay "
+            "reproduces even those exactly because wall_s is cached)"
+        ),
+        "honesty": (
+            "parallel_speedup is only meaningful when usable_cpus > 1; on a "
+            "single-core runner the spawn-pool overhead makes fan-out slower "
+            "than serial and the cache provides the entire win"
+        ),
+        "runs": [],
+    }
+    doc["runs"] = [run for run in doc["runs"] if run.get("date") != "latest"]
+    doc["runs"].append(entry)
+    BENCH_PATH.write_text(json.dumps(doc, indent=1) + "\n")
+
+    with capsys.disabled():
+        print(
+            f"\n  cells={entry['cells']} usable_cpus={entry['usable_cpus']}"
+            f" pool_jobs={pool_jobs}"
+            f"\n  cold serial   {cold_serial_s:8.2f}s"
+            f"\n  cold parallel {cold_parallel_s:8.2f}s"
+            f"  (speedup {entry['parallel_speedup']:.2f}x)"
+            f"\n  cold cached   {cold_cached_s:8.2f}s"
+            f"\n  warm cache    {warm_s:8.2f}s"
+            f"  ({100 * entry['warm_fraction_of_cold']:.0f}% of cold serial)"
+        )
+
+    # The cache must make the warm pass dramatically cheaper than cold:
+    # every cell replays, nothing synthesizes, nothing simulates.
+    assert warm_s < cold_serial_s

@@ -8,6 +8,10 @@ under ``benchmarks/out/`` so the artifacts survive the run.
 Scale/seed can be overridden from the command line::
 
     pytest benchmarks/ --benchmark-only --repro-scale 1.0 --repro-seed 7
+
+Sweep-engine knobs: ``--repro-jobs N`` fans simulation cells over a
+worker pool; ``--repro-cache-dir PATH`` enables the content-addressed
+result cache (off by default so benchmarks measure real execution).
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import sweep
 from repro.experiments import EXPERIMENTS
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -31,6 +36,18 @@ def pytest_addoption(parser):
     parser.addoption(
         "--repro-seed", action="store", default="0", help="experiment seed"
     )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        default="1",
+        help="worker processes for simulation cells (default 1 = in-process)",
+    )
+    parser.addoption(
+        "--repro-cache-dir",
+        action="store",
+        default=None,
+        help="sweep result cache root (default: caching disabled)",
+    )
 
 
 @pytest.fixture
@@ -38,12 +55,17 @@ def experiment_runner(request, benchmark, capsys):
     """Returns run(experiment_id): benchmark it, print + persist the result."""
     scale = float(request.config.getoption("--repro-scale"))
     seed = int(request.config.getoption("--repro-seed"))
+    jobs = int(request.config.getoption("--repro-jobs"))
+    cache_dir = request.config.getoption("--repro-cache-dir")
 
     def run(experiment_id: str):
         spec = EXPERIMENTS[experiment_id]
-        result = benchmark.pedantic(
-            lambda: spec.run(seed=seed, scale=scale), rounds=1, iterations=1
-        )
+        with sweep.execution(
+            jobs=jobs, cache_dir=cache_dir, no_cache=cache_dir is None
+        ):
+            result = benchmark.pedantic(
+                lambda: spec.run(seed=seed, scale=scale), rounds=1, iterations=1
+            )
         rendered = result.render()
         OUT_DIR.mkdir(exist_ok=True)
         (OUT_DIR / f"{experiment_id}.txt").write_text(rendered)

@@ -17,6 +17,7 @@ SIMULATION = (
     "repro/controlplane/",
     "repro/cluster/",
     "repro/execlayer/",
+    "repro/sweep/",
 )
 
 #: Scheduler/placement hot paths where iteration order decides outcomes.

@@ -118,5 +118,10 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class SweepError(ReproError):
+    """One or more cells of a sweep batch failed (raised after the batch
+    completes, so succeeded cells are still cached)."""
+
+
 class EventOrderError(SimulationError):
     """An event was scheduled in the past relative to the simulation clock."""

@@ -4,8 +4,15 @@ Usage::
 
     python -m repro.experiments T2                 # one experiment
     python -m repro.experiments T2 F5 --scale 0.5  # several, quick scale
+    python -m repro.experiments --all --jobs 4     # fan out over 4 workers
     python -m repro.experiments --all --csv-dir out/
     python -m repro.experiments --list
+
+Simulation runs execute through the sweep engine: ``--jobs N`` fans
+independent cells over a process pool (rendered output stays
+byte-identical to serial), and the content-addressed result cache makes
+warm re-runs near-instant (``--no-cache`` opts out, ``--cache-dir`` /
+``$TCLOUD_SWEEP_CACHE`` relocate it).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import sys
 import time
 from pathlib import Path
 
+from .. import sweep
 from ..errors import ReproError
 from .registry import EXPERIMENTS
 
@@ -30,12 +38,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--csv-dir", default=None, help="also export each result as CSV here")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for simulation cells (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep result cache root (default: $TCLOUD_SWEEP_CACHE or ~/.cache/tcloud-sweep)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for experiment_id, spec in EXPERIMENTS.items():
             print(f"{experiment_id:4s} [{spec.kind:6s}] {spec.title} — {spec.description}")
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     ids = list(EXPERIMENTS) if args.all else [e.upper() for e in args.experiments]
     if not ids:
@@ -48,18 +74,38 @@ def main(argv: list[str] | None = None) -> int:
     if csv_dir:
         csv_dir.mkdir(parents=True, exist_ok=True)
 
-    for experiment_id in ids:
-        started = time.perf_counter()
-        try:
-            result = EXPERIMENTS[experiment_id].run(seed=args.seed, scale=args.scale)
-        except ReproError as exc:
-            print(f"{experiment_id}: error: {exc}", file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print(f"[{experiment_id} regenerated in {elapsed:.1f}s at scale {args.scale}]\n")
-        if csv_dir:
-            result.export_csv(csv_dir / f"{experiment_id}.csv")
+    failed: list[str] = []
+    with sweep.execution(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    ) as runner:
+        for experiment_id in ids:
+            started = time.perf_counter()
+            before = runner.stats.snapshot()
+            try:
+                result = EXPERIMENTS[experiment_id].run(seed=args.seed, scale=args.scale)
+            except ReproError as exc:
+                print(f"{experiment_id}: error: {exc}", file=sys.stderr)
+                failed.append(experiment_id)
+                continue
+            elapsed = time.perf_counter() - started
+            after = runner.stats.snapshot()
+            hits = after["cache_hits"] - before["cache_hits"]
+            misses = after["cache_misses"] - before["cache_misses"]
+            footer = f"[{experiment_id} regenerated in {elapsed:.1f}s at scale {args.scale}"
+            if hits or misses:
+                footer += f"; cells {hits} cached / {misses} run"
+                footer += f"; jobs {args.jobs}"
+            footer += "]"
+            print(result.render())
+            print(footer + "\n")
+            if csv_dir:
+                result.export_csv(csv_dir / f"{experiment_id}.csv")
+
+    if failed:
+        print(
+            f"{len(failed)} experiment(s) failed: {', '.join(failed)}", file=sys.stderr
+        )
+        return 1
     return 0
 
 

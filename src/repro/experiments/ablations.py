@@ -11,22 +11,19 @@ discusses; each gets an ablation:
   quota design's free tier.
 * **A4 — dataset staging cache**: shared-filesystem staging with and
   without node-local caches, across cache sizes.
+
+Every arm is a sweep cell; per-run instruments (storage hit rate, the
+learned predictor's observation count) come back in ``result.extras``.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
-from ..execlayer.speedup import ExecutionModel
-from ..execlayer.storage import SharedFilesystem, StorageConfig
-from ..sched import QuotaConfig, TieredQuotaScheduler, make_scheduler
-from ..sched.elastic import ElasticScheduler
-from ..sim.simulator import SimConfig
-from ..workload.models import assign_models
-from ..workload.synth import TraceSynthesizer, tacc_campus, with_load
-from .common import ExperimentResult, campus_trace, fresh_trace_copy, run_policy
+from .. import sweep
+from ..sched import QuotaConfig
+from ..sweep import SchedulerSpec, SimCell
+from .common import ExperimentResult, campus_trace_spec
 
 
 def run_a1_estimate_quality(seed: int, scale: float) -> ExperimentResult:
@@ -37,16 +34,24 @@ def run_a1_estimate_quality(seed: int, scale: float) -> ExperimentResult:
     is the log-normal noise width — the degree to which estimates scramble
     the true duration ranking.
     """
-    rows = []
     sweeps = [("oracle", None), ("rank-perfect", 0.01), ("typical", 0.6), ("noisy", 1.5), ("chaotic", 2.5)]
+    cells = {}
     for label, sigma in sweeps:
         overrides = {}
         if sigma is not None:
             overrides = {"walltime_overestimate_sigma": sigma}
-        trace = campus_trace(seed, scale, days=5.0, load=1.3, **overrides)
+        tspec = campus_trace_spec(seed, scale, days=5.0, load=1.3, **overrides)
         scheduler_name = "sjf-oracle" if sigma is None else "sjf"
         for policy in (scheduler_name, "backfill-easy"):
-            result = run_policy(make_scheduler(policy), fresh_trace_copy(trace))
+            cells[f"{label}:{policy}"] = SimCell(
+                trace=tspec, scheduler=SchedulerSpec(name=policy)
+            )
+    results = sweep.run_cells(cells)
+    rows = []
+    for label, sigma in sweeps:
+        scheduler_name = "sjf-oracle" if sigma is None else "sjf"
+        for policy in (scheduler_name, "backfill-easy"):
+            result = results[f"{label}:{policy}"]
             rows.append(
                 {
                     "estimates": label,
@@ -74,23 +79,20 @@ def run_a1_estimate_quality(seed: int, scale: float) -> ExperimentResult:
 
 def run_a2_elasticity(seed: int, scale: float) -> ExperimentResult:
     """A2: elastic (Pollux-style) vs rigid scheduling under saturation."""
-    config = with_load(
-        replace(tacc_campus(days=max(1.0, 5.0 * scale)), elastic_fraction=0.7),
-        176,
-        1.2,
-        seed=seed + 777,
-    )
-    base = TraceSynthesizer(config, seed=seed).generate()
-    assign_models(base, seed=seed)
-    policies = {
-        "rigid-backfill": make_scheduler("backfill-easy"),
-        "elastic": ElasticScheduler(tick_s=900.0, resize_cooldown_s=3600.0),
+    tspec = campus_trace_spec(seed, scale, days=5.0, load=1.2, elastic_fraction=0.7)
+    cells = {
+        "rigid-backfill": SimCell(
+            trace=tspec, scheduler=SchedulerSpec(name="backfill-easy")
+        ),
+        "elastic": SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(
+                name="elastic", params={"tick_s": 900.0, "resize_cooldown_s": 3600.0}
+            ),
+        ),
     }
     rows = []
-    for name, scheduler in policies.items():
-        trace = fresh_trace_copy(base)
-        assign_models(trace, seed=seed)
-        result = run_policy(scheduler, trace, exec_model=ExecutionModel())
+    for name, result in sweep.run_cells(cells).items():
         jobs = list(result.jobs.values())
         elastic_jobs = [j for j in jobs if j.elastic]
         waits = [j.wait_time for j in elastic_jobs if j.wait_time is not None]
@@ -119,16 +121,20 @@ def run_a2_elasticity(seed: int, scale: float) -> ExperimentResult:
 
 def run_a3_checkpoint_cost(seed: int, scale: float) -> ExperimentResult:
     """A3: preemption checkpoint cost vs free-tier usefulness."""
-    trace = campus_trace(seed, scale, days=5.0, load=1.5, guaranteed_fraction=0.6)
-    quota = QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.85)
+    tspec = campus_trace_spec(seed, scale, days=5.0, load=1.5, guaranteed_fraction=0.6)
+    quota = QuotaConfig.equal_shares(sweep.trace_meta(tspec).labs, 176, fraction=0.85)
+    cells = {
+        str(loss_s): SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="tiered-quota", quotas=dict(quota.quotas)),
+            sim={"sample_interval_s": 0.0, "checkpoint_loss_s": loss_s},
+        )
+        for loss_s in (0.0, 60.0, 900.0, 3600.0)
+    }
+    results = sweep.run_cells(cells)
     rows = []
     for loss_s in (0.0, 60.0, 900.0, 3600.0):
-        run_trace = fresh_trace_copy(trace)
-        result = run_policy(
-            TieredQuotaScheduler(quota),
-            run_trace,
-            sim_config=SimConfig(sample_interval_s=0.0, checkpoint_loss_s=loss_s),
-        )
+        result = results[str(loss_s)]
         metrics = result.metrics
         opportunistic_jct = [
             j.jct
@@ -166,27 +172,26 @@ def run_a3_checkpoint_cost(seed: int, scale: float) -> ExperimentResult:
 
 def run_a5_learned_predictions(seed: int, scale: float) -> ExperimentResult:
     """A5: learned runtime predictions vs user estimates vs oracle SJF."""
-    from ..sched.predictor import DurationPredictor, PredictedSjfScheduler
-
-    trace = campus_trace(seed, scale, days=7.0, load=1.3)
-    policies = {
-        "sjf-user-estimates": make_scheduler("sjf"),
-        "sjf-predicted": PredictedSjfScheduler(),
-        "sjf-oracle": make_scheduler("sjf-oracle"),
+    tspec = campus_trace_spec(seed, scale, days=7.0, load=1.3)
+    cells = {
+        "sjf-user-estimates": SimCell(trace=tspec, scheduler=SchedulerSpec(name="sjf")),
+        "sjf-predicted": SimCell(
+            trace=tspec, scheduler=SchedulerSpec(name="sjf-predicted")
+        ),
+        "sjf-oracle": SimCell(trace=tspec, scheduler=SchedulerSpec(name="sjf-oracle")),
     }
     rows = []
-    predictor_stats: DurationPredictor | None = None
-    for name, scheduler in policies.items():
-        result = run_policy(scheduler, fresh_trace_copy(trace))
+    observations: int | None = None
+    for name, result in sweep.run_cells(cells).items():
         row = {
             "policy": name,
             "avg_wait_h": result.metrics.wait_mean_s / 3600.0,
             "avg_jct_h": result.metrics.jct_mean_s / 3600.0,
             "p99_wait_h": result.metrics.wait_percentiles["p99"] / 3600.0,
         }
-        if isinstance(scheduler, PredictedSjfScheduler):
-            predictor_stats = scheduler.predictor
-            row["observations"] = scheduler.predictor.observations
+        if "predictor_observations" in result.extras:
+            observations = int(result.extras["predictor_observations"])
+            row["observations"] = observations
         rows.append(row)
     notes = (
         "A per-(user, width-class) quantile of observed runtimes replaces "
@@ -196,36 +201,36 @@ def run_a5_learned_predictions(seed: int, scale: float) -> ExperimentResult:
         "the predictor learns *wall* runtimes including hardware/placement "
         "slowdowns, which is what the queue actually experiences"
     )
-    if predictor_stats is not None:
-        notes += f" ({predictor_stats.observations} runtimes observed online)."
+    if observations is not None:
+        notes += f" ({observations} runtimes observed online)."
     return ExperimentResult("A5", "Learned runtime predictions", rows=rows, notes=notes)
 
 
 def run_a4_storage_cache(seed: int, scale: float) -> ExperimentResult:
     """A4: dataset-staging cache ablation."""
-    trace = campus_trace(seed, scale, days=3.0, load=0.7)
-    configs = {
-        "no-cache": StorageConfig(node_cache_gb=1e-6),
-        "small-cache-200gb": StorageConfig(node_cache_gb=200.0),
-        "standard-2tb": StorageConfig(node_cache_gb=2000.0),
+    tspec = campus_trace_spec(seed, scale, days=3.0, load=0.7)
+    storage_configs = {
+        "no-cache": {"node_cache_gb": 1e-6},
+        "small-cache-200gb": {"node_cache_gb": 200.0},
+        "standard-2tb": {"node_cache_gb": 2000.0},
+    }
+    cells = {
+        label: SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy"),
+            sim={"sample_interval_s": 0.0},
+            storage=dict(storage_kwargs),
+        )
+        for label, storage_kwargs in storage_configs.items()
     }
     rows = []
-    for label, storage_config in configs.items():
-        storage = SharedFilesystem(storage_config)
-        run_trace = fresh_trace_copy(trace)
-        assign_models(run_trace, seed=seed)
-        result = run_policy(
-            make_scheduler("backfill-easy"),
-            run_trace,
-            storage=storage,
-            sim_config=SimConfig(sample_interval_s=0.0),
-        )
+    for label, result in sweep.run_cells(cells).items():
         rows.append(
             {
                 "cache": label,
                 "stage_hours_total": result.metrics.stage_seconds / 3600.0,
-                "cache_hit_rate": storage.hit_rate,
-                "staged_tb": storage.bytes_staged_gb / 1000.0,
+                "cache_hit_rate": result.extras["storage_hit_rate"],
+                "staged_tb": result.extras["storage_bytes_staged_gb"] / 1000.0,
                 "avg_jct_h": result.metrics.jct_mean_s / 3600.0,
             }
         )

@@ -8,13 +8,15 @@ only — no simulation — so they are fast at any scale.
 
 from __future__ import annotations
 
+from .. import sweep
 from ..cluster.cluster import build_tacc_cluster, tacc_cluster_spec
 from ..ops.analytics import (
     arrivals_per_hour_of_day,
     duration_cdf_by_class,
     gpu_demand_distribution,
 )
-from ..workload.synth import TraceSynthesizer, tacc_campus
+from ..sweep import TraceSpec
+from ..workload.synth import tacc_campus
 from .common import ExperimentResult
 
 
@@ -58,11 +60,24 @@ def run_t1_cluster_composition(seed: int, scale: float) -> ExperimentResult:
     )
 
 
+def _wide_mix_spec(seed: int, scale: float) -> TraceSpec:
+    """The demand/duration characterization trace (shared by F2 and F3)."""
+    return TraceSpec(
+        days=max(3.0, 14.0 * scale),
+        synth_seed=seed,
+        load=None,
+        overrides={"jobs_per_day": 500.0},
+    )
+
+
 def run_f1_arrivals(seed: int, scale: float) -> ExperimentResult:
     """F1: diurnal submission pattern, weekday vs weekend."""
     days = max(7.0, 7.0 * scale)
-    config = tacc_campus(days=days, jobs_per_day=400.0)
-    trace = TraceSynthesizer(config, seed=seed).generate()
+    trace = sweep.trace_for(
+        TraceSpec(
+            days=days, synth_seed=seed, load=None, overrides={"jobs_per_day": 400.0}
+        )
+    )
     weekday = trace.filter(lambda job: (job.submit_time // 86400.0) % 7 < 5, name="weekday")
     weekend = trace.filter(lambda job: (job.submit_time // 86400.0) % 7 >= 5, name="weekend")
     weekday_rates = arrivals_per_hour_of_day(weekday)
@@ -90,15 +105,14 @@ def run_f1_arrivals(seed: int, scale: float) -> ExperimentResult:
         notes=(
             f"Weekday submissions peak around {peak_hour:02d}:00 and trough "
             f"around {trough_hour:02d}:00; weekends run at "
-            f"~{config.weekend_factor:.0%} of weekday volume."
+            f"~{tacc_campus(days=days).weekend_factor:.0%} of weekday volume."
         ),
     )
 
 
 def run_f2_gpu_demand(seed: int, scale: float) -> ExperimentResult:
     """F2: GPU-demand distribution — jobs vs GPU-hours."""
-    config = tacc_campus(days=max(3.0, 14.0 * scale), jobs_per_day=500.0)
-    trace = TraceSynthesizer(config, seed=seed).generate()
+    trace = sweep.trace_for(_wide_mix_spec(seed, scale))
     distribution = gpu_demand_distribution(trace)
     rows = [
         {
@@ -124,8 +138,7 @@ def run_f2_gpu_demand(seed: int, scale: float) -> ExperimentResult:
 
 def run_f3_durations(seed: int, scale: float) -> ExperimentResult:
     """F3: duration CDFs by GPU-demand class (heavy tail)."""
-    config = tacc_campus(days=max(3.0, 14.0 * scale), jobs_per_day=500.0)
-    trace = TraceSynthesizer(config, seed=seed).generate()
+    trace = sweep.trace_for(_wide_mix_spec(seed, scale))
     cdfs = duration_cdf_by_class(trace, boundaries=(1, 2, 8))
     series = {
         f"gpus_{label}": [(value / 3600.0, prob) for value, prob in cdf.points(60)]

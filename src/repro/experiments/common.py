@@ -17,6 +17,7 @@ from ..errors import ConfigError
 from ..execlayer.speedup import ExecutionModel
 from ..sched.base import Scheduler
 from ..sim.simulator import ClusterSimulator, SimConfig, SimulationResult
+from ..sweep.spec import TraceSpec
 from ..workload.models import assign_models
 from ..workload.synth import SyntheticTraceConfig, TraceSynthesizer, tacc_campus, with_load
 from ..workload.trace import Trace
@@ -85,6 +86,31 @@ class ExperimentSpec:
 # --------------------------------------------------------------------------
 
 
+def campus_trace_spec(
+    seed: int,
+    scale: float,
+    days: float = 7.0,
+    load: float | None = 0.9,
+    cluster_gpus: int = 176,
+    **overrides,
+) -> TraceSpec:
+    """The :func:`campus_trace` recipe as a declarative sweep spec.
+
+    ``sweep.build_trace`` on this spec reproduces :func:`campus_trace`'s
+    construction order exactly (preset → load calibration → synthesis →
+    model assignment), so cell-based experiments match the pre-sweep
+    numbers bit-for-bit.
+    """
+    return TraceSpec(
+        days=max(1.0, days * scale),
+        synth_seed=seed,
+        load=load,
+        load_gpus=cluster_gpus,
+        model_seed=seed,
+        overrides=dict(overrides),
+    )
+
+
 def campus_trace(
     seed: int,
     scale: float,
@@ -136,10 +162,12 @@ def fresh_trace_copy(trace: Trace) -> Trace:
     """Deep-ish copy of a trace with pristine runtime state.
 
     Jobs are stateful; running the same trace under a second scheduler
-    requires fresh Job objects.  Round-tripping through the serialisation
-    row format guarantees only static fields survive.
+    requires fresh Job objects.  Rehydrating from the trace's memoised
+    serialisation rows guarantees only static fields survive — and
+    serialises each job once per trace instead of once per compared
+    policy (the rows are the same form the sweep cache and worker
+    shipping use).
     """
-    from ..workload.trace import _job_from_row, _job_to_row
-
-    jobs = [_job_from_row(_job_to_row(job)) for job in trace.jobs]
-    return Trace(jobs, name=trace.name, metadata=dict(trace.metadata))
+    return Trace.from_rows(
+        trace.frozen_rows(), name=trace.name, metadata=dict(trace.metadata)
+    )

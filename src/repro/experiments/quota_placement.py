@@ -4,28 +4,32 @@ F7 measures the two-tier quota design's core promise (guaranteed-tier
 latency) and cost (opportunistic-tier preemption churn).  F8 ablates the
 placement policy under a multi-GPU-heavy workload, measuring fragmentation
 and wide-job waits.  T5 reports cross-lab fairness under different
-schedulers.
+schedulers.  All runs are declared as sweep cells; F8's fragmentation
+probe is requested declaratively and captured worker-side.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..cluster.cluster import build_tacc_cluster
+from .. import sweep
 from ..ops.fairness import fairness_summary, jain_index, quota_adherence
-from ..ops.fragmentation import FragmentationProbe
-from ..sched import QuotaConfig, TieredQuotaScheduler, make_scheduler
-from ..sched.placement import make_placement
-from ..sched.placement.hived import BuddyCellPlacement
+from ..sched import QuotaConfig
+from ..sweep import SchedulerSpec, SimCell
 from ..workload.job import JobTier
-from .common import ExperimentResult, campus_trace, fresh_trace_copy, run_policy
+from .common import ExperimentResult, campus_trace_spec
 
 
 def run_f7_quota_tiers(seed: int, scale: float) -> ExperimentResult:
     """F7: guaranteed vs opportunistic wait and preemption under quota."""
-    trace = campus_trace(seed, scale, days=7.0, load=1.15, guaranteed_fraction=0.5)
-    quota = QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.6)
-    result = run_policy(TieredQuotaScheduler(quota), trace)
+    tspec = campus_trace_spec(seed, scale, days=7.0, load=1.15, guaranteed_fraction=0.5)
+    quota = QuotaConfig.equal_shares(sweep.trace_meta(tspec).labs, 176, fraction=0.6)
+    result = sweep.run_one(
+        SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="tiered-quota", quotas=dict(quota.quotas)),
+        )
+    )
     jobs = list(result.jobs.values())
     rows = []
     for tier in JobTier:
@@ -58,30 +62,31 @@ def run_f7_quota_tiers(seed: int, scale: float) -> ExperimentResult:
 
 def run_f8_placement(seed: int, scale: float) -> ExperimentResult:
     """F8: placement-policy ablation under a multi-GPU-heavy workload."""
-    trace = campus_trace(
+    tspec = campus_trace_spec(
         seed,
         scale,
         days=5.0,
         load=0.95,
         gpu_demand_pmf={1: 0.35, 2: 0.20, 4: 0.20, 8: 0.15, 16: 0.07, 32: 0.03},
     )
+    cells = {
+        placement_name: SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy", placement=placement_name),
+            probes=("fragmentation",),
+        )
+        for placement_name in (
+            "first-fit",
+            "best-fit",
+            "worst-fit",
+            "topology-aware",
+            "buddy-cell",
+        )
+    }
     rows = []
-    for placement_name in ("first-fit", "best-fit", "worst-fit", "topology-aware", "buddy-cell"):
-        placement = make_placement(placement_name)
-        scheduler = make_scheduler("backfill-easy", placement=placement)
-        cluster = build_tacc_cluster()
-        probe = FragmentationProbe()
-        original_on_free = placement.on_free
-
-        def probed_on_free(cluster_, job_id, placement_map, _orig=original_on_free):
-            _orig(cluster_, job_id, placement_map)
-            probe.observe(cluster_)
-
-        placement.on_free = probed_on_free  # type: ignore[method-assign]
-        result = run_policy(scheduler, fresh_trace_copy(trace), cluster=cluster)
+    for placement_name, result in sweep.run_cells(cells).items():
         jobs = list(result.jobs.values())
         wide_waits = [j.wait_time for j in jobs if j.num_gpus >= 8 and j.wait_time is not None]
-        multi_node = [j for j in jobs if j.first_start_time is not None and len(set(j.current_nodes)) > 1]
         row = {
             "placement": placement_name,
             "wide_wait_p50_h": float(np.median(wide_waits)) / 3600.0
@@ -90,12 +95,12 @@ def run_f8_placement(seed: int, scale: float) -> ExperimentResult:
             "wide_wait_p99_h": float(np.percentile(wide_waits, 99)) / 3600.0
             if wide_waits
             else float("nan"),
-            "mean_frag": probe.summary()["mean_frag"],
+            "mean_frag": result.extras["mean_frag"],
             "utilization": result.metrics.avg_utilization,
             "avg_jct_h": result.metrics.jct_mean_s / 3600.0,
         }
-        if isinstance(placement, BuddyCellPlacement):
-            row["alignment_waste_gpus"] = placement.waste_gpus
+        if "alignment_waste_gpus" in result.extras:
+            row["alignment_waste_gpus"] = result.extras["alignment_waste_gpus"]
         rows.append(row)
     return ExperimentResult(
         "F8",
@@ -112,17 +117,19 @@ def run_f8_placement(seed: int, scale: float) -> ExperimentResult:
 
 def run_t5_fairness(seed: int, scale: float) -> ExperimentResult:
     """T5: cross-lab fairness (Jain) and quota adherence."""
-    trace = campus_trace(seed, scale, days=7.0, load=1.05)
-    quota = QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.6)
-    policies = {
-        "fifo": make_scheduler("fifo"),
-        "fair-share": make_scheduler("fair-share"),
-        "tiered-quota": TieredQuotaScheduler(quota),
+    tspec = campus_trace_spec(seed, scale, days=7.0, load=1.05)
+    quota = QuotaConfig.equal_shares(sweep.trace_meta(tspec).labs, 176, fraction=0.6)
+    cells = {
+        "fifo": SimCell(trace=tspec, scheduler=SchedulerSpec(name="fifo")),
+        "fair-share": SimCell(trace=tspec, scheduler=SchedulerSpec(name="fair-share")),
+        "tiered-quota": SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="tiered-quota", quotas=dict(quota.quotas)),
+        ),
     }
     rows = []
     adherence_rows = []
-    for name, scheduler in policies.items():
-        result = run_policy(scheduler, fresh_trace_copy(trace))
+    for name, result in sweep.run_cells(cells).items():
         lab_summary = fairness_summary(result.jobs, key="lab_id")
         user_summary = fairness_summary(result.jobs, key="user_id")
         rows.append(

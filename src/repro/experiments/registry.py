@@ -148,9 +148,24 @@ def run_experiment(experiment_id: str, seed: int = 0, scale: float = 1.0) -> Exp
     return spec.run(seed=seed, scale=scale)
 
 
-def run_all(seed: int = 0, scale: float = 1.0) -> dict[str, ExperimentResult]:
-    """Run the full suite in index order."""
-    return {
-        experiment_id: EXPERIMENTS[experiment_id].run(seed=seed, scale=scale)
-        for experiment_id in EXPERIMENTS
-    }
+def run_all(
+    seed: int = 0,
+    scale: float = 1.0,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    no_cache: bool = True,
+) -> dict[str, ExperimentResult]:
+    """Run the full suite in index order.
+
+    ``jobs``/``cache_dir``/``no_cache`` configure the sweep engine for
+    the whole batch: simulation cells fan out over ``jobs`` workers and
+    (unless ``no_cache``) reuse the content-addressed result cache.
+    Defaults keep library callers pure — serial, cache-less.
+    """
+    from .. import sweep
+
+    with sweep.execution(jobs=jobs, cache_dir=cache_dir, no_cache=no_cache):
+        return {
+            experiment_id: EXPERIMENTS[experiment_id].run(seed=seed, scale=scale)
+            for experiment_id in EXPERIMENTS
+        }

@@ -3,18 +3,20 @@ F6 (backfill ablation), F11 (gang time-slicing).
 
 All runs replay the same load-calibrated campus trace (fresh job objects
 per policy) on identical clusters, so differences are attributable to
-policy alone.
+policy alone.  Each run is declared as a :class:`~repro.sweep.SimCell`
+and executed through the sweep engine — serially, in parallel, or from
+cache, all byte-identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import sweep
 from ..ops.analytics import queue_depth_series, utilization_series, wait_cdf
-from ..sched import QuotaConfig, TieredQuotaScheduler, make_scheduler
-from ..sched.gang import GangScheduler
-from ..sim.simulator import SimConfig
-from .common import ExperimentResult, campus_trace, fresh_trace_copy, run_policy
+from ..sched import QuotaConfig
+from ..sweep import SchedulerSpec, SimCell
+from .common import ExperimentResult, campus_trace_spec
 
 #: The policy set compared in F5/T2 (tiered-quota is added separately
 #: because it needs the trace's lab census for quota construction).
@@ -22,28 +24,32 @@ COMPARED_SCHEDULERS = ("fifo", "sjf", "fair-share", "backfill-easy", "tiresias")
 
 
 def _comparison_runs(seed: int, scale: float, load: float = 0.95):
-    trace = campus_trace(seed, scale, days=7.0, load=load)
-    runs = {}
-    for name in COMPARED_SCHEDULERS:
-        runs[name] = run_policy(make_scheduler(name), fresh_trace_copy(trace))
-    quota = QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.6)
-    runs["tiered-quota"] = run_policy(
-        TieredQuotaScheduler(quota), fresh_trace_copy(trace)
+    tspec = campus_trace_spec(seed, scale, days=7.0, load=load)
+    cells = {
+        name: SimCell(trace=tspec, scheduler=SchedulerSpec(name=name))
+        for name in COMPARED_SCHEDULERS
+    }
+    quota = QuotaConfig.equal_shares(sweep.trace_meta(tspec).labs, 176, fraction=0.6)
+    cells["tiered-quota"] = SimCell(
+        trace=tspec,
+        scheduler=SchedulerSpec(name="tiered-quota", quotas=dict(quota.quotas)),
     )
-    return trace, runs
+    return sweep.run_cells(cells)
 
 
 def run_f4_utilization(seed: int, scale: float) -> ExperimentResult:
     """F4: cluster GPU allocation and queue depth over two weeks."""
-    trace = campus_trace(seed, scale, days=14.0, load=0.85)
-    result = run_policy(
-        make_scheduler("backfill-easy"),
-        trace,
-        sim_config=SimConfig(sample_interval_s=900.0),
+    tspec = campus_trace_spec(seed, scale, days=14.0, load=0.85)
+    result = sweep.run_one(
+        SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy"),
+            sim={"sample_interval_s": 900.0},
+        )
     )
     util = utilization_series(result.samples, bin_s=3600.0)
     depth = queue_depth_series(result.samples, bin_s=3600.0)
-    horizon_h = trace.span_seconds / 3600.0
+    horizon_h = sweep.trace_meta(tspec).span_seconds / 3600.0
     series = {
         "utilization": [(x, y) for x, y in util if x <= horizon_h],
         "queue_depth": [(x, y) for x, y in depth if x <= horizon_h],
@@ -63,7 +69,7 @@ def run_f4_utilization(seed: int, scale: float) -> ExperimentResult:
 
 def run_f5_queueing(seed: int, scale: float) -> ExperimentResult:
     """F5: queueing-delay CDF per scheduling policy."""
-    _trace, runs = _comparison_runs(seed, scale)
+    runs = _comparison_runs(seed, scale)
     series = {}
     for name, result in runs.items():
         cdf = wait_cdf(result.jobs)
@@ -87,11 +93,11 @@ def run_f5_queueing(seed: int, scale: float) -> ExperimentResult:
 
 def run_t2_sched_comparison(seed: int, scale: float) -> ExperimentResult:
     """T2: scheduler comparison table (JCT, wait, utilization, makespan)."""
-    _trace, runs = _comparison_runs(seed, scale)
+    runs = _comparison_runs(seed, scale)
     rows = []
     for name, result in runs.items():
         row = {"scheduler": name}
-        row.update(result.summary())
+        row.update(result.summary)
         row.pop("events", None)
         rows.append(row)
     return ExperimentResult(
@@ -113,15 +119,16 @@ def run_t2_sched_comparison(seed: int, scale: float) -> ExperimentResult:
 
 def run_f6_backfill(seed: int, scale: float) -> ExperimentResult:
     """F6: backfill ablation — none vs conservative vs EASY, by job width."""
-    trace = campus_trace(seed, scale, days=7.0, load=0.95)
-    policies = {
-        "no-backfill": make_scheduler("fifo"),
-        "conservative": make_scheduler("backfill-conservative"),
-        "easy": make_scheduler("backfill-easy"),
+    tspec = campus_trace_spec(seed, scale, days=7.0, load=0.95)
+    cells = {
+        "no-backfill": SimCell(trace=tspec, scheduler=SchedulerSpec(name="fifo")),
+        "conservative": SimCell(
+            trace=tspec, scheduler=SchedulerSpec(name="backfill-conservative")
+        ),
+        "easy": SimCell(trace=tspec, scheduler=SchedulerSpec(name="backfill-easy")),
     }
     rows = []
-    for name, scheduler in policies.items():
-        result = run_policy(scheduler, fresh_trace_copy(trace))
+    for name, result in sweep.run_cells(cells).items():
         jobs = list(result.jobs.values())
         narrow = [j.wait_time for j in jobs if j.num_gpus <= 2 and j.wait_time is not None]
         wide = [j.wait_time for j in jobs if j.num_gpus >= 8 and j.wait_time is not None]
@@ -149,28 +156,35 @@ def run_f6_backfill(seed: int, scale: float) -> ExperimentResult:
 
 def run_f11_gang(seed: int, scale: float) -> ExperimentResult:
     """F11: gang time-slicing and interactive-job wait."""
-    trace = campus_trace(
+    tspec = campus_trace_spec(
         seed,
         scale,
         days=5.0,
         load=1.1,  # slicing only matters when demand exceeds capacity
         interactive_fraction=0.3,
     )
-    # Trace construction: these jobs predate any simulator/control plane, so
-    # flipping the consent flag here is workload synthesis, not a state write.
-    for job in trace:
-        job.preemptible = True  # simlint: disable=R3  (slicing needs consent)
-    policies = {
-        "backfill-easy": make_scheduler("backfill-easy"),
-        "gang-30min": GangScheduler(quantum_s=1800.0),
-        "gang-2h": GangScheduler(quantum_s=7200.0),
+    # Slicing needs consent: every cell marks its rehydrated trace copy
+    # preemptible before the simulator exists (the memoised trace itself
+    # is never touched).
+    cells = {
+        "backfill-easy": SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy"),
+            preemptible_override=True,
+        ),
+        "gang-30min": SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="gang", params={"quantum_s": 1800.0}),
+            preemptible_override=True,
+        ),
+        "gang-2h": SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="gang", params={"quantum_s": 7200.0}),
+            preemptible_override=True,
+        ),
     }
     rows = []
-    for name, scheduler in policies.items():
-        run_trace = fresh_trace_copy(trace)
-        for job in run_trace:
-            job.preemptible = True  # simlint: disable=R3  (fresh trace copy)
-        result = run_policy(scheduler, run_trace)
+    for name, result in sweep.run_cells(cells).items():
         jobs = list(result.jobs.values())
         interactive = [
             j.wait_time for j in jobs if j.interactive and j.wait_time is not None

@@ -7,23 +7,21 @@ the question around and asks what serving costs training: co-locating an
 autoscaled fleet on the campus cluster must leave the guaranteed tier's F7
 promise (near-zero wait) intact, pushing all displacement into the
 opportunistic tier.
+
+The fleets are declared as :class:`~repro.sweep.ServingSpec` data so each
+(arm, multiplier) run is an independent sweep cell.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..sched import QuotaConfig, TieredQuotaScheduler
-from ..serving import (
-    AutoscalerConfig,
-    ServiceLoadConfig,
-    ServiceSpec,
-    ServingFleet,
-    ServingWorkload,
-)
+from .. import sweep
+from ..sched import QuotaConfig
+from ..sweep import SchedulerSpec, ServingSpec, SimCell, TraceSpec
 from ..workload.job import JobTier
 from ..workload.trace import Trace
-from .common import ExperimentResult, campus_trace, fresh_trace_copy, run_policy
+from .common import ExperimentResult, campus_trace_spec
 
 #: Lab owning the co-located inference services.
 SERVING_LAB = "lab-serve"
@@ -32,8 +30,8 @@ SERVING_LAB = "lab-serve"
 SERVING_DAYS = 3.0
 
 
-def serving_workload(load_multiplier: float = 1.0) -> ServingWorkload:
-    """The standard two-service fleet of the S-experiments.
+def serving_services(load_multiplier: float = 1.0) -> tuple[tuple[dict, dict], ...]:
+    """The standard two-service fleet of the S-experiments, as spec data.
 
     A chat-style service (gpt2-medium, ~26 req/s per V100 replica) and an
     embedding service (bert-base, ~43 req/s per replica).  At multiplier
@@ -41,32 +39,54 @@ def serving_workload(load_multiplier: float = 1.0) -> ServingWorkload:
     ~1.5× the chat baseline saturates and only surge capacity can hold
     the SLO.
     """
+    return (
+        (
+            {
+                "service_id": "svc-chat",
+                "user_id": "u-serve-1",
+                "lab_id": SERVING_LAB,
+                "model_name": "gpt2-medium",
+                "slo_p99_s": 2.0,
+                "base_replicas": 2,
+                "max_replicas": 12,
+            },
+            {"peak_rps": 40.0 * load_multiplier},
+        ),
+        (
+            {
+                "service_id": "svc-embed",
+                "user_id": "u-serve-2",
+                "lab_id": SERVING_LAB,
+                "model_name": "bert-base",
+                "slo_p99_s": 0.5,
+                "base_replicas": 1,
+                "max_replicas": 8,
+            },
+            {"peak_rps": 25.0 * load_multiplier, "start_weekday": 2},
+        ),
+    )
+
+
+def serving_workload(load_multiplier: float = 1.0):
+    """The standard fleet as live (ServiceSpec, ServiceLoadConfig) pairs.
+
+    Kept for callers that build a :class:`~repro.serving.ServingFleet`
+    directly (lifecycle tests, golden captures); the experiments
+    themselves ship :func:`serving_services` spec data inside cells.
+    """
+    from ..serving import ServiceLoadConfig, ServiceSpec
+
     return [
-        (
-            ServiceSpec(
-                service_id="svc-chat",
-                user_id="u-serve-1",
-                lab_id=SERVING_LAB,
-                model_name="gpt2-medium",
-                slo_p99_s=2.0,
-                base_replicas=2,
-                max_replicas=12,
-            ),
-            ServiceLoadConfig(peak_rps=40.0 * load_multiplier),
-        ),
-        (
-            ServiceSpec(
-                service_id="svc-embed",
-                user_id="u-serve-2",
-                lab_id=SERVING_LAB,
-                model_name="bert-base",
-                slo_p99_s=0.5,
-                base_replicas=1,
-                max_replicas=8,
-            ),
-            ServiceLoadConfig(peak_rps=25.0 * load_multiplier, start_weekday=2),
-        ),
+        (ServiceSpec(**service), ServiceLoadConfig(**load))
+        for service, load in serving_services(load_multiplier)
     ]
+
+
+def _quota_with_serving_slice(labs: tuple[str, ...]) -> QuotaConfig:
+    base = QuotaConfig.equal_shares(labs, 176, fraction=0.6)
+    quotas = dict(base.quotas)
+    quotas[SERVING_LAB] = 3
+    return QuotaConfig(quotas=quotas)
 
 
 def serving_quota(trace: Trace) -> QuotaConfig:
@@ -76,47 +96,51 @@ def serving_quota(trace: Trace) -> QuotaConfig:
     baselines are entitled, everything the autoscaler adds on top must be
     harvested opportunistically.
     """
-    base = QuotaConfig.equal_shares(trace.labs(), 176, fraction=0.6)
-    quotas = dict(base.quotas)
-    quotas[SERVING_LAB] = 3
-    return QuotaConfig(quotas=quotas)
+    return _quota_with_serving_slice(trace.labs())
 
 
-def _run_colocated(
-    trace: Trace,
+def _colocated_cell(
+    tspec: TraceSpec,
+    quota: QuotaConfig,
     seed: int,
     scale: float,
     load_multiplier: float,
     autoscaled: bool,
-):
+) -> SimCell:
     """One (trace copy, serving fleet) co-located run under tiered quota."""
-    fleet = ServingFleet(
-        serving_workload(load_multiplier),
-        days=max(1.0, SERVING_DAYS * scale),
-        autoscaler=AutoscalerConfig(enabled=autoscaled),
-        seed=seed + 13,
+    return SimCell(
+        trace=tspec,
+        scheduler=SchedulerSpec(name="tiered-quota", quotas=dict(quota.quotas)),
+        serving=ServingSpec(
+            services=serving_services(load_multiplier),
+            days=max(1.0, SERVING_DAYS * scale),
+            autoscaled=autoscaled,
+            seed=seed + 13,
+        ),
     )
-    result = run_policy(
-        TieredQuotaScheduler(serving_quota(trace)),
-        fresh_trace_copy(trace),
-        serving=fleet,
-    )
-    assert result.metrics.serving is not None
-    return result
 
 
 def run_s1_serving_slo(seed: int, scale: float) -> ExperimentResult:
     """S1: SLO attainment vs offered load, harvesting vs fixed replicas."""
-    trace = campus_trace(seed, scale, days=SERVING_DAYS, load=0.9)
+    tspec = campus_trace_spec(seed, scale, days=SERVING_DAYS, load=0.9)
+    quota = _quota_with_serving_slice(sweep.trace_meta(tspec).labs)
+    cells = {}
+    for multiplier in (0.5, 1.0, 2.0, 3.0, 5.0):
+        for arm, autoscaled in (("autoscaled", True), ("fixed", False)):
+            cells[f"{multiplier}:{arm}"] = _colocated_cell(
+                tspec, quota, seed, scale, multiplier, autoscaled
+            )
+    results = sweep.run_cells(cells)
     rows = []
     attainment: dict[str, list[tuple[float, float]]] = {
         "autoscaled": [],
         "fixed": [],
     }
     for multiplier in (0.5, 1.0, 2.0, 3.0, 5.0):
-        for arm, autoscaled in (("autoscaled", True), ("fixed", False)):
-            result = _run_colocated(trace, seed, scale, multiplier, autoscaled)
+        for arm in ("autoscaled", "fixed"):
+            result = results[f"{multiplier}:{arm}"]
             serving = result.metrics.serving
+            assert serving is not None
             rows.append(
                 {
                     "load_x": multiplier,
@@ -156,13 +180,23 @@ def run_s1_serving_slo(seed: int, scale: float) -> ExperimentResult:
 
 def run_s2_serving_colocation(seed: int, scale: float) -> ExperimentResult:
     """S2: does co-located serving disturb training's tier guarantees?"""
-    trace = campus_trace(
+    tspec = campus_trace_spec(
         seed, scale, days=SERVING_DAYS, load=1.1, guaranteed_fraction=0.5
     )
-    colocated = _run_colocated(trace, seed, scale, load_multiplier=1.5, autoscaled=True)
-    training_only = run_policy(
-        TieredQuotaScheduler(serving_quota(trace)), fresh_trace_copy(trace)
-    )
+    quota = _quota_with_serving_slice(sweep.trace_meta(tspec).labs)
+    cells = {
+        "co-located": _colocated_cell(
+            tspec, quota, seed, scale, load_multiplier=1.5, autoscaled=True
+        ),
+        "training-only": SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="tiered-quota", quotas=dict(quota.quotas)),
+        ),
+    }
+    results = sweep.run_cells(cells)
+    colocated = results["co-located"]
+    training_only = results["training-only"]
+    assert colocated.metrics.serving is not None
     rows = []
     for arm, result in (("training-only", training_only), ("co-located", colocated)):
         training_jobs = [j for j in result.jobs.values() if j.service_id is None]

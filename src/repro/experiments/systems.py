@@ -8,21 +8,15 @@ that the simulator can carry trace-scale studies.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from ..cluster.cluster import uniform_cluster
+from .. import sweep
 from ..cluster.topology import Locality
 from ..compiler.cache import ChunkStore
 from ..execlayer.comm import CommMethod, PlacementShape, sync_time_s
-from ..sched import make_scheduler
-from ..sim.failures import FailureConfig
-from ..sim.simulator import SimConfig
+from ..sweep import ClusterSpec, SchedulerSpec, SimCell, TraceSpec
 from ..workload.models import MODEL_CATALOG
-from ..workload.synth import TraceSynthesizer, tacc_campus, with_load
-from ..workload.models import assign_models
-from .common import ExperimentResult, campus_trace, run_policy
+from .common import ExperimentResult, campus_trace_spec
 
 #: Placement shapes swept in F9: 16 GPUs arranged ever more spread out.
 _F9_SHAPES: list[tuple[str, tuple[int, ...], Locality]] = [
@@ -80,15 +74,18 @@ def run_f9_locality(seed: int, scale: float) -> ExperimentResult:
 
 def run_t3_failures(seed: int, scale: float) -> ExperimentResult:
     """T3: failure taxonomy and job outcomes under injected node faults."""
-    trace = campus_trace(seed, scale, days=14.0, load=0.8)
-    failure_config = FailureConfig(
-        mtbf_hours=24.0 * 20.0, consumer_mtbf_factor=4.0, repair_hours_median=2.0
-    )
-    result = run_policy(
-        make_scheduler("backfill-easy"),
-        trace,
-        failure_config=failure_config,
-        sim_config=SimConfig(sample_interval_s=3600.0, seed=seed),
+    tspec = campus_trace_spec(seed, scale, days=14.0, load=0.8)
+    result = sweep.run_one(
+        SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy"),
+            sim={"sample_interval_s": 3600.0, "seed": seed},
+            failures={
+                "mtbf_hours": 24.0 * 20.0,
+                "consumer_mtbf_factor": 4.0,
+                "repair_hours_median": 2.0,
+            },
+        )
     )
     metrics = result.metrics
     total_failed = max(1, metrics.jobs_failed)
@@ -178,30 +175,40 @@ def run_f10_scalability(seed: int, scale: float) -> ExperimentResult:
     rows = []
     series = {"events_per_s": [], "sim_wall_s": []}
     node_counts = [4, 8, 16, 32, 64, 128, 256] if scale >= 1.0 else [4, 8, 16, 32]
-    for nodes in node_counts:
-        cluster = uniform_cluster(nodes, gpus_per_node=8)
-        config = with_load(
-            tacc_campus(days=2.0), cluster.total_gpus, 0.9, seed=seed + nodes
+    cells = {
+        str(nodes): SimCell(
+            trace=TraceSpec(
+                days=2.0,
+                synth_seed=seed + nodes,
+                load=0.9,
+                load_gpus=nodes * 8,
+                load_seed=0,
+                model_seed=seed,
+            ),
+            scheduler=SchedulerSpec(name="backfill-easy"),
+            cluster=ClusterSpec(kind="uniform", nodes=nodes, gpus_per_node=8),
         )
-        trace = TraceSynthesizer(config, seed=seed + nodes).generate()
-        assign_models(trace, seed=seed)
-        scheduler = make_scheduler("backfill-easy")
-        started = time.perf_counter()
-        result = run_policy(scheduler, trace, cluster=cluster)
-        elapsed = time.perf_counter() - started
+        for nodes in node_counts
+    }
+    results = sweep.run_cells(cells)
+    for nodes in node_counts:
+        result = results[str(nodes)]
+        # Wall time is measured in-worker around the simulation proper and
+        # travels with the (possibly cached) result — see CellResult.wall_s.
+        elapsed = result.wall_s
         events_per_s = result.events_processed / max(elapsed, 1e-9)
         gpus = float(nodes * 8)
         rows.append(
             {
                 "gpus": int(gpus),
-                "jobs": len(trace),
+                "jobs": result.trace_jobs,
                 "events": result.events_processed,
                 "sim_wall_s": elapsed,
                 "events_per_s": events_per_s,
                 "sim_days_per_wall_s": (result.end_time / 86400.0) / max(elapsed, 1e-9),
-                "placement_attempts": result.perf.placement_attempts,
-                "nodes_per_attempt": round(result.perf.nodes_per_attempt, 3),
-                "sched_pass_wall_s": round(result.perf.sched_pass_wall_s, 6),
+                "placement_attempts": int(result.perf["placement_attempts"]),
+                "nodes_per_attempt": round(result.perf["nodes_per_attempt"], 3),
+                "sched_pass_wall_s": round(result.perf["sched_pass_wall_s"], 6),
             }
         )
         series["events_per_s"].append((gpus, events_per_s))

@@ -1,0 +1,75 @@
+"""Deterministic parallel sweep engine with content-addressed caching.
+
+The sweep engine turns "run these N independent simulations" into a
+declarative batch: experiments describe each run as a :class:`SimCell`
+(pure data), and the runner decides where it executes (in-process or a
+spawn-context worker pool), whether it executes at all (content-addressed
+on-disk cache keyed by spec + code fingerprint), and how inputs are
+shared (each distinct trace spec is synthesized once and shipped to
+workers as serialised rows).  Results merge back in submission order, so
+everything downstream renders byte-identically to a serial run.
+"""
+
+from .build import build_cluster, build_scheduler, build_trace, run_cell
+from .cache import (
+    CACHE_ENV_VAR,
+    SweepCache,
+    cell_key,
+    default_cache_dir,
+    trace_meta_key,
+    trace_rows_key,
+)
+from .fingerprint import code_fingerprint
+from .result import CellResult, TraceMeta
+from .runner import (
+    SweepRunner,
+    SweepStats,
+    active_runner,
+    execution,
+    run_cells,
+    run_one,
+    runner_stats,
+    trace_for,
+    trace_meta,
+)
+from .spec import (
+    CELL_FORMAT_VERSION,
+    ClusterSpec,
+    SchedulerSpec,
+    ServingSpec,
+    SimCell,
+    TraceSpec,
+    canonical_json,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CELL_FORMAT_VERSION",
+    "CellResult",
+    "ClusterSpec",
+    "SchedulerSpec",
+    "ServingSpec",
+    "SimCell",
+    "SweepCache",
+    "SweepRunner",
+    "SweepStats",
+    "TraceMeta",
+    "TraceSpec",
+    "active_runner",
+    "build_cluster",
+    "build_scheduler",
+    "build_trace",
+    "canonical_json",
+    "cell_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "execution",
+    "run_cell",
+    "run_cells",
+    "run_one",
+    "runner_stats",
+    "trace_for",
+    "trace_meta",
+    "trace_meta_key",
+    "trace_rows_key",
+]

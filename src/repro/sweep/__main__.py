@@ -1,0 +1,63 @@
+"""Cache maintenance CLI: ``python -m repro.sweep {stats,prune}``.
+
+The result cache is content-addressed, so it never serves stale data —
+but stale entries (written by older code) accumulate on disk.  ``prune``
+evicts them; ``stats`` reports what is there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .cache import SweepCache
+from .fingerprint import code_fingerprint
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Inspect or prune the sweep result cache.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $TCLOUD_SWEEP_CACHE or ~/.cache/tcloud-sweep)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser(
+        "stats",
+        parents=[common],
+        help="show entry count, total bytes, code fingerprint",
+    )
+    prune = sub.add_parser(
+        "prune", parents=[common], help="evict stale (or all/old) entries"
+    )
+    prune.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="also evict entries older than this many days",
+    )
+    prune.add_argument(
+        "--all", action="store_true", help="wipe every entry regardless of state"
+    )
+    args = parser.parse_args(argv)
+
+    cache = SweepCache(args.cache_dir)
+    if args.command == "stats":
+        stats = cache.stats()
+        print(f"cache_dir: {cache.root}")
+        print(f"entries: {int(stats['entries'])}")
+        print(f"bytes: {int(stats['bytes'])}")
+        print(f"code_fingerprint: {code_fingerprint()}")
+        return 0
+    removed = cache.prune(max_age_days=args.max_age_days, all_entries=args.all)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

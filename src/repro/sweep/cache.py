@@ -1,0 +1,172 @@
+"""Content-addressed on-disk cache for cell results.
+
+Key anatomy (see docs/architecture.md):
+
+    sha256( canonical-JSON(cell spec)
+            + "\\n" + code fingerprint of the repro package
+            + "\\n" + cell format version )
+
+The value is a pickled envelope carrying the fingerprint and version
+again; a hit is only served when both re-verify, so a cache poisoned
+with results from different code (or an older wire format) is ignored,
+never served.  Writes are atomic (tmp + rename) so a crashed run can
+never leave a half-written entry that a later run would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any
+
+from .fingerprint import code_fingerprint
+from .result import CellResult, TraceMeta
+from .spec import CELL_FORMAT_VERSION, SimCell, TraceSpec, canonical_json
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV_VAR = "TCLOUD_SWEEP_CACHE"
+
+_ENVELOPE_KEYS = ("fingerprint", "version", "result")
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: $TCLOUD_SWEEP_CACHE or ~/.cache/tcloud-sweep."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "tcloud-sweep"
+
+
+def cell_key(cell: SimCell, fingerprint: str | None = None) -> str:
+    """The cell's content address (hex SHA-256)."""
+    fingerprint = fingerprint or code_fingerprint()
+    material = f"{cell.spec_json()}\n{fingerprint}\n{CELL_FORMAT_VERSION}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def trace_meta_key(spec: TraceSpec, fingerprint: str | None = None) -> str:
+    """Content address of a trace's parent-side metadata (labs, span)."""
+    fingerprint = fingerprint or code_fingerprint()
+    material = f"trace-meta\n{canonical_json(spec)}\n{fingerprint}\n{CELL_FORMAT_VERSION}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def trace_rows_key(spec: TraceSpec, fingerprint: str | None = None) -> str:
+    """Content address of a trace's serialised row form."""
+    fingerprint = fingerprint or code_fingerprint()
+    material = f"trace-rows\n{canonical_json(spec)}\n{fingerprint}\n{CELL_FORMAT_VERSION}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """One cache directory; entries are ``<key[:2]>/<key>.pkl``."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _load(self, key: str) -> Any | None:
+        """Load and verify an envelope, or None on miss/corruption/stale code."""
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            envelope = pickle.loads(payload)
+        except Exception:  # simlint: disable=R8  (corrupt cache entry = miss)
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if any(field not in envelope for field in _ENVELOPE_KEYS):
+            return None
+        if envelope["fingerprint"] != code_fingerprint():
+            return None  # poisoned/stale: produced by different code
+        if envelope["version"] != CELL_FORMAT_VERSION:
+            return None
+        return envelope["result"]
+
+    def get(self, key: str) -> CellResult | None:
+        """Load a cached cell result, or None on miss/corruption/stale code."""
+        result = self._load(key)
+        if not isinstance(result, CellResult):
+            return None
+        return result
+
+    def get_meta(self, key: str) -> TraceMeta | None:
+        """Load cached trace metadata, or None (same discipline as get)."""
+        meta = self._load(key)
+        if not isinstance(meta, TraceMeta):
+            return None
+        return meta
+
+    def get_trace(self, key: str) -> dict[str, Any] | None:
+        """Load a cached trace payload ({rows, name, metadata}), or None."""
+        payload = self._load(key)
+        if not isinstance(payload, dict):
+            return None
+        if any(part not in payload for part in ("rows", "name", "metadata")):
+            return None
+        return payload
+
+    def put(self, key: str, result: CellResult | TraceMeta | dict[str, Any]) -> None:
+        """Atomically store a result under its content address."""
+        envelope: dict[str, Any] = {
+            "fingerprint": code_fingerprint(),
+            "version": CELL_FORMAT_VERSION,
+            "result": result,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.pkl"))
+
+    def stats(self) -> dict[str, float]:
+        paths = self.entries()
+        return {
+            "entries": float(len(paths)),
+            "bytes": float(sum(p.stat().st_size for p in paths)),
+        }
+
+    def prune(self, max_age_days: float | None = None, all_entries: bool = False) -> int:
+        """Delete entries; returns the number removed.
+
+        ``all_entries`` wipes everything; otherwise entries are removed
+        when stale (written by a different code fingerprint / format
+        version) or — when ``max_age_days`` is given — older than that.
+        """
+        # Eviction policy needs real time; the cache is operational
+        # tooling, not simulation state.
+        now = time.time()  # simlint: disable=R2  (cache eviction age)
+        removed = 0
+        fingerprint = code_fingerprint()
+        for path in self.entries():
+            drop = all_entries
+            if not drop and max_age_days is not None:
+                age_days = (now - path.stat().st_mtime) / 86400.0
+                drop = age_days > max_age_days
+            if not drop:
+                try:
+                    envelope = pickle.loads(path.read_bytes())
+                    drop = (
+                        not isinstance(envelope, dict)
+                        or envelope.get("fingerprint") != fingerprint
+                        or envelope.get("version") != CELL_FORMAT_VERSION
+                    )
+                except Exception:  # simlint: disable=R8  (unreadable entry = stale)
+                    drop = True
+            if drop:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,33 @@
+"""Code fingerprint: a digest of the ``repro`` package source.
+
+Cache entries are only valid for the exact code that produced them.  The
+fingerprint hashes every ``.py`` file under the installed ``repro``
+package (path-relative name + contents, in sorted order), so any edit to
+simulation, scheduling, workload, or sweep code invalidates the whole
+cache.  That is deliberately coarse: correctness over cleverness — a
+false invalidation costs one re-run; a false hit serves wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over all ``repro/**/*.py`` sources (hex digest)."""
+    root = _package_root()
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        digest.update(rel.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()

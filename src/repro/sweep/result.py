@@ -1,0 +1,74 @@
+"""Cell results: what a simulation run ships back to the parent.
+
+A :class:`CellResult` carries everything the experiment layer reads from
+a :class:`~repro.sim.simulator.SimulationResult` — the final job
+population, metrics, samples, perf counters, the precomputed summary row
+— plus the in-worker wall time and any probe extras.  It is the value
+stored in the on-disk cache, so its contents must be a pure function of
+the cell spec (wall time is the one exception, documented below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..sim.metrics import Sample, SimMetrics
+    from ..workload.job import Job
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Parent-side facts derived from a synthesized trace.
+
+    Experiments need a few trace-derived inputs *before* any cell runs —
+    the lab census that sizes quotas, the submission span that clips
+    series.  Synthesizing a trace just for these would defeat the result
+    cache on warm runs, so the runner derives them once and caches them
+    alongside cell results (same fingerprint discipline).
+    """
+
+    labs: tuple[str, ...]
+    span_seconds: float
+    n_jobs: int
+
+
+@dataclass
+class CellResult:
+    """Outcome of running one :class:`~repro.sweep.spec.SimCell`.
+
+    Attributes:
+        jobs: Final job population keyed by job id (same shape as
+            ``SimulationResult.jobs``; service replicas included).
+        metrics: The run's :class:`SimMetrics`.
+        samples: Periodic cluster snapshots (F4-style series).
+        summary: Precomputed ``SimulationResult.summary()`` row.
+        end_time: Simulated end time (seconds).
+        events_processed: DES event count.
+        perf: ``PerfCounters.as_dict()`` of the run.
+        trace_jobs: Job count of the input trace (before the run).
+        wall_s: In-worker wall-clock seconds for the simulation proper.
+            This is the *only* non-deterministic field: it is measured
+            where the run happens and cached with the result, so a cached
+            replay reports the wall time of the run that produced it —
+            which is what keeps rendered output byte-stable across warm
+            re-runs.
+        extras: Probe/instrument outputs captured worker-side (e.g.
+            ``mean_frag``, ``alignment_waste_gpus``, ``storage_hit_rate``,
+            ``predictor_observations``).
+        cached: True when this result was served from the on-disk cache
+            rather than simulated (set by the runner, never stored).
+    """
+
+    jobs: dict[str, "Job"]
+    metrics: "SimMetrics"
+    samples: list["Sample"]
+    summary: dict[str, Any]
+    end_time: float
+    events_processed: int
+    perf: dict[str, float]
+    trace_jobs: int
+    wall_s: float
+    extras: dict[str, Any] = field(default_factory=dict)
+    cached: bool = False

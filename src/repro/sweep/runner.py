@@ -1,0 +1,336 @@
+"""Deterministic fan-out runner: trace memo, process pool, ordered merge.
+
+The runner owns the parent-side machinery of a sweep:
+
+* **trace memo** — each distinct :class:`TraceSpec` is synthesized once
+  per process; workers receive the serialised rows, never re-synthesize;
+* **cache front-end** — before a cell runs anywhere, its content address
+  is checked against the on-disk :class:`SweepCache`;
+* **process pool** — misses fan out over a spawn-context
+  ``ProcessPoolExecutor``; submissions are keyed, and results are merged
+  back **in input order**, so rendered tables/series are byte-identical
+  to a serial run regardless of worker count or completion order;
+* **error batching** — a failing cell does not abort in-flight siblings;
+  completed results are cached, then a single :class:`SweepError`
+  reports every failure.
+
+Experiments never touch the runner directly: they call the module-level
+:func:`run_cells` / :func:`trace_for`, which route to the runner
+installed by the :func:`execution` context (or a serial, cache-less
+default — library callers and unit tests see pure behaviour unless a
+CLI opts in).
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..errors import SweepError
+from ..workload.trace import Trace
+from .build import TraceRows, build_trace, run_cell
+from .cache import SweepCache, cell_key, trace_meta_key, trace_rows_key
+from .result import CellResult, TraceMeta
+from .spec import SimCell, TraceSpec, canonical_json
+
+
+@dataclass
+class SweepStats:
+    """Counters for one runner's lifetime (reported in CLI footers)."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    traces_synthesized: int = 0
+    trace_memo_hits: int = 0
+    perf_totals: dict[str, float] = field(default_factory=dict)
+
+    def absorb_perf(self, perf: Mapping[str, float]) -> None:
+        for counter, value in perf.items():
+            self.perf_totals[counter] = self.perf_totals.get(counter, 0.0) + value
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "cells": self.cells,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "traces_synthesized": self.traces_synthesized,
+            "trace_memo_hits": self.trace_memo_hits,
+        }
+
+
+def _worker_init(parent_path: list[str]) -> None:
+    """Spawn-context workers inherit the parent's import path."""
+    for entry in reversed(parent_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _worker_run_cell(
+    cell: SimCell,
+    rows: TraceRows,
+    trace_name: str,
+    trace_metadata: dict[str, object],
+) -> CellResult:
+    return run_cell(cell, rows, trace_name, trace_metadata)
+
+
+class SweepRunner:
+    """Executes batches of cells with memoisation, caching, and fan-out."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Path | str | None = None,
+        no_cache: bool = False,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache: SweepCache | None = None if no_cache else SweepCache(cache_dir)
+        self.stats = SweepStats()
+        self._memo: dict[str, Trace] = {}
+        self._meta: dict[str, TraceMeta] = {}
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- trace memo -----------------------------------------------------------
+
+    def trace_for(self, spec: TraceSpec) -> Trace:
+        """The memoised trace for a spec (treat as read-only).
+
+        Parents use this for derived inputs (lab census for quotas,
+        ``span_seconds``); replays always go through fresh rehydrated
+        copies, so sharing the object is safe as long as callers never
+        mutate it — which is why cells carry e.g. ``preemptible_override``
+        declaratively instead of flipping flags on this instance.
+        """
+        key = canonical_json(spec)
+        trace = self._memo.get(key)
+        if trace is not None:
+            self.stats.trace_memo_hits += 1
+            return trace
+        if self.cache is not None:
+            payload = self.cache.get_trace(trace_rows_key(spec))
+            if payload is not None:
+                trace = Trace.from_rows(
+                    payload["rows"],
+                    name=payload["name"],
+                    metadata=dict(payload["metadata"]),
+                )
+                trace.frozen_rows()
+                self._memo[key] = trace
+                return trace
+        trace = build_trace(spec)
+        trace.frozen_rows()  # serialise once, while the memo is warm
+        self._memo[key] = trace
+        self.stats.traces_synthesized += 1
+        if self.cache is not None:
+            self.cache.put(
+                trace_rows_key(spec),
+                {
+                    "rows": trace.frozen_rows(),
+                    "name": trace.name,
+                    "metadata": dict(trace.metadata),
+                },
+            )
+        return trace
+
+    def trace_meta(self, spec: TraceSpec) -> TraceMeta:
+        """Parent-side trace facts (lab census, span) without a live trace.
+
+        Prefer this over :meth:`trace_for` when only derived inputs are
+        needed: the metadata is cached on disk with the same fingerprint
+        discipline as cell results, so a fully-warm run never pays for
+        trace synthesis at all.
+        """
+        key = canonical_json(spec)
+        meta = self._meta.get(key)
+        if meta is None and self.cache is not None and key not in self._memo:
+            meta = self.cache.get_meta(trace_meta_key(spec))
+        if meta is None:
+            trace = self.trace_for(spec)
+            meta = TraceMeta(
+                labs=trace.labs(),
+                span_seconds=trace.span_seconds,
+                n_jobs=len(trace.jobs),
+            )
+            if self.cache is not None:
+                self.cache.put(trace_meta_key(spec), meta)
+        self._meta[key] = meta
+        return meta
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=get_context("spawn"),
+                initializer=_worker_init,
+                initargs=(list(sys.path),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- execution ------------------------------------------------------------
+
+    def run_cells(self, cells: Mapping[str, SimCell]) -> dict[str, CellResult]:
+        """Run a keyed batch; the result dict preserves the input order.
+
+        Cache hits are served immediately; misses run in-process
+        (``jobs == 1``) or on the pool.  All submissions are keyed and
+        the merge walks the *input* ordering, so downstream rendering is
+        independent of completion order.
+        """
+        order = list(cells)
+        self.stats.cells += len(order)
+        results: dict[str, CellResult] = {}
+        pending: dict[str, SimCell] = {}
+        keys: dict[str, str] = {}
+
+        for name in order:
+            cell = cells[name]
+            if self.cache is not None:
+                keys[name] = cell_key(cell)
+                hit = self.cache.get(keys[name])
+                if hit is not None:
+                    hit.cached = True
+                    self.stats.cache_hits += 1
+                    self.stats.absorb_perf(hit.perf)
+                    results[name] = hit
+                    continue
+            self.stats.cache_misses += 1
+            pending[name] = cell
+
+        failures: dict[str, BaseException] = {}
+        if pending:
+            payloads = {
+                name: (cell, self.trace_for(cell.trace))
+                for name, cell in pending.items()
+            }
+            if self.jobs == 1:
+                for name, (cell, trace) in payloads.items():
+                    try:
+                        results[name] = run_cell(
+                            cell, trace.frozen_rows(), trace.name, dict(trace.metadata)
+                        )
+                    except Exception as exc:  # simlint: disable=R8  (re-raised as SweepError)
+                        failures[name] = exc
+            else:
+                pool = self._ensure_pool()
+                futures: dict[Future[CellResult], str] = {}
+                for name, (cell, trace) in payloads.items():
+                    future = pool.submit(
+                        _worker_run_cell,
+                        cell,
+                        trace.frozen_rows(),
+                        trace.name,
+                        dict(trace.metadata),
+                    )
+                    futures[future] = name
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        name = futures[future]
+                        try:
+                            results[name] = future.result()
+                        except Exception as exc:  # simlint: disable=R8  (re-raised as SweepError)
+                            failures[name] = exc
+            for name in pending:
+                if name in results:
+                    self.stats.absorb_perf(results[name].perf)
+                    if self.cache is not None:
+                        self.cache.put(keys[name], results[name])
+
+        if failures:
+            detail = "; ".join(
+                f"{name}: {type(exc).__name__}: {exc}" for name, exc in failures.items()
+            )
+            raise SweepError(f"{len(failures)} cell(s) failed: {detail}")
+        return {name: results[name] for name in order}
+
+    def run_one(self, cell: SimCell) -> CellResult:
+        return self.run_cells({"cell": cell})["cell"]
+
+
+# -- module-level execution context ------------------------------------------
+
+_DEFAULT = SweepRunner(jobs=1, no_cache=True)
+_ACTIVE: SweepRunner = _DEFAULT
+
+
+def active_runner() -> SweepRunner:
+    return _ACTIVE
+
+
+@contextmanager
+def execution(
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    no_cache: bool = False,
+) -> Iterator[SweepRunner]:
+    """Install a runner for the duration of the block (CLI entry points)."""
+    global _ACTIVE
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, no_cache=no_cache)
+    previous = _ACTIVE
+    _ACTIVE = runner
+    try:
+        yield runner
+    finally:
+        _ACTIVE = previous
+        runner.close()
+
+
+def run_cells(cells: Mapping[str, SimCell]) -> dict[str, CellResult]:
+    """Run a keyed cell batch on the active runner (ordered results)."""
+    return _ACTIVE.run_cells(cells)
+
+
+def run_one(cell: SimCell) -> CellResult:
+    """Run a single cell on the active runner."""
+    return _ACTIVE.run_one(cell)
+
+
+def trace_for(spec: TraceSpec) -> Trace:
+    """Memoised parent-side trace for a spec (read-only; see SweepRunner)."""
+    return _ACTIVE.trace_for(spec)
+
+
+def trace_meta(spec: TraceSpec) -> TraceMeta:
+    """Cached parent-side trace facts (labs, span) for a spec."""
+    return _ACTIVE.trace_meta(spec)
+
+
+def runner_stats() -> SweepStats:
+    """Live stats of the active runner."""
+    return _ACTIVE.stats
+
+
+def reset_default_runner() -> None:
+    """Drop the default runner's memo (tests use this to isolate state)."""
+    global _DEFAULT, _ACTIVE
+    if _ACTIVE is _DEFAULT:
+        _DEFAULT = SweepRunner(jobs=1, no_cache=True)
+        _ACTIVE = _DEFAULT
+
+
+__all__ = [
+    "SweepRunner",
+    "SweepStats",
+    "active_runner",
+    "execution",
+    "reset_default_runner",
+    "run_cells",
+    "run_one",
+    "runner_stats",
+    "trace_for",
+    "trace_meta",
+]

@@ -1,0 +1,157 @@
+"""Cell specifications: pure, picklable descriptions of one simulation.
+
+A :class:`SimCell` is the unit of the sweep engine: everything needed to
+run one simulation — trace recipe, scheduler, cluster, execution model,
+simulator config, optional failure/storage/serving subsystems — captured
+as plain data.  Because simulation code is a pure function of its seeds
+(enforced by simlint R1/R2), a cell's result is a pure function of the
+cell spec, which is what makes both process-pool fan-out and
+content-addressed caching sound.
+
+Specs are canonically serialisable: :func:`canonical_json` produces a
+stable byte string (sorted keys, no whitespace, no NaN) that keys both
+the parent-side trace memo and the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConfigError
+
+#: Bumped whenever the cell-result wire/cache format changes shape, so
+#: stale cache entries from older layouts can never be deserialised into
+#: the new one.
+CELL_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert specs/dataclasses/tuples into JSON-ready data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ConfigError("cell specs must not contain NaN/inf values")
+        return value
+    raise ConfigError(f"cell specs must be plain data; got {type(value).__name__}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding of a spec (cache/memo key material)."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recipe for one synthetic trace, load calibration included.
+
+    ``days`` is the *final* horizon (any scale factor already applied by
+    the caller).  ``load`` calibrates ``jobs_per_day`` against
+    ``load_gpus`` GPUs of capacity (``None`` skips calibration);
+    ``model_seed`` assigns model names after synthesis (``None`` skips).
+    ``overrides`` are extra :class:`SyntheticTraceConfig` fields.
+    """
+
+    days: float
+    synth_seed: int
+    load: float | None = 0.9
+    load_gpus: int = 176
+    load_seed: int = 777
+    model_seed: int | None = None
+    preset: str = "tacc-campus"
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """A scheduler by registry name plus constructor parameters.
+
+    ``quotas`` (when set) becomes the ``quota=QuotaConfig(...)`` argument
+    of ``tiered-quota``; ``params`` passes through to the constructor
+    (e.g. ``quantum_s`` for gang, ``tick_s`` for elastic).
+    """
+
+    name: str
+    placement: str | None = None
+    quotas: dict[str, int] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Which cluster to build: the campus preset or a uniform grid."""
+
+    kind: str = "tacc"  # "tacc" | "uniform"
+    nodes: int = 0
+    gpus_per_node: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tacc", "uniform"):
+            raise ConfigError(f"unknown cluster kind {self.kind!r}")
+        if self.kind == "uniform" and self.nodes <= 0:
+            raise ConfigError("uniform cluster needs a positive node count")
+
+    @property
+    def total_gpus(self) -> int:
+        if self.kind == "uniform":
+            return self.nodes * self.gpus_per_node
+        return 176  # the campus cluster's fixed inventory
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """Declarative serving fleet: service + load-config kwargs per service."""
+
+    services: tuple[tuple[dict[str, Any], dict[str, Any]], ...]
+    days: float
+    autoscaled: bool = True
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SimCell:
+    """One simulation run as pure data.
+
+    Attributes:
+        trace: Trace recipe (synthesised once per distinct spec, then
+            shipped to workers as serialised rows).
+        scheduler: Scheduler recipe.
+        cluster: Cluster recipe.
+        sim: :class:`SimConfig` keyword overrides.
+        exec_model: :class:`ExecutionModel` keyword overrides.
+        failures: :class:`FailureConfig` kwargs (``None`` = no injection).
+        storage: :class:`StorageConfig` kwargs (``None`` = no staging model).
+        serving: Co-located serving fleet (``None`` = training only).
+        preemptible_override: Mark every trace job preemptible before the
+            run (gang time-slicing consent; applied to the rehydrated
+            copy, never the memoised trace).
+        probes: Observational instruments to attach, by name
+            (``"fragmentation"`` wraps the placement free hook).
+    """
+
+    trace: TraceSpec
+    scheduler: SchedulerSpec
+    cluster: ClusterSpec = ClusterSpec()
+    sim: dict[str, Any] = field(default_factory=lambda: {"sample_interval_s": 1800.0})
+    exec_model: dict[str, Any] = field(default_factory=dict)
+    failures: dict[str, Any] | None = None
+    storage: dict[str, Any] | None = None
+    serving: ServingSpec | None = None
+    preemptible_override: bool = False
+    probes: tuple[str, ...] = ()
+
+    def spec_json(self) -> str:
+        """Canonical JSON of this cell (the cache key's cell component)."""
+        return canonical_json(self)

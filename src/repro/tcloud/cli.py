@@ -12,6 +12,9 @@ Subcommands mirror the real tool's workflow against a simulated cluster:
 * ``tcloud profiles [--config PATH]`` — list configured cluster profiles
 * ``tcloud lint [paths…]`` — simlint invariant analysis (same flags and
   exit codes as ``python -m repro.analysis``)
+* ``tcloud experiment [ids…|--all]`` — regenerate study tables/figures
+  (same flags and exit codes as ``python -m repro.experiments``,
+  including the sweep engine's ``--jobs``/``--cache-dir``/``--no-cache``)
 * ``tcloud demo`` — a scripted multi-job session exercising monitoring,
   preemption and log aggregation
 
@@ -131,6 +134,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return simlint_main(list(args.lint_args))
 
 
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from ..experiments.__main__ import main as experiments_main
+
+    return experiments_main(list(args.experiment_args))
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     client = TcloudClient(_config(args))
     _print("# tcloud demo: three jobs on the simulated campus cluster")
@@ -221,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.set_defaults(func=cmd_lint)
 
+    p_experiment = sub.add_parser(
+        "experiment",
+        help="regenerate study experiments (python -m repro.experiments)",
+    )
+    p_experiment.add_argument(
+        "experiment_args",
+        nargs=argparse.REMAINDER,
+        help="IDs and flags forwarded to the experiment runner (see its --help)",
+    )
+    p_experiment.set_defaults(func=cmd_experiment)
+
     p_demo = sub.add_parser("demo", help="run a scripted demo session")
     p_demo.set_defaults(func=cmd_demo)
     return parser
@@ -234,6 +254,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..analysis.__main__ import main as simlint_main
 
         return simlint_main(argv[1:])
+    if argv and argv[0] == "experiment":
+        from ..experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -13,7 +13,7 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -55,6 +55,10 @@ class Trace:
     jobs: list[Job]
     name: str = "trace"
     metadata: dict[str, object] = field(default_factory=dict)
+    #: Lazy snapshot of the static serialisation rows (see frozen_rows).
+    _rows: tuple[dict[str, object], ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         ids = [job.job_id for job in self.jobs]
@@ -149,6 +153,38 @@ class Trace:
         }
 
     # -- serialisation ----------------------------------------------------------
+
+    def frozen_rows(self) -> tuple[dict[str, object], ...]:
+        """The trace's static fields as serialisation rows, computed once.
+
+        This is the single row form shared by replay copies
+        (:func:`repro.experiments.common.fresh_trace_copy`), the sweep
+        engine's worker shipping, and its result cache: serialising each
+        job once and rehydrating per consumer replaces the old
+        serialize+deserialize round-trip per compared policy.
+
+        The snapshot is taken on first call — mutate static job fields
+        (e.g. ``assign_models``) *before* handing the trace to anything
+        that replays it.  Runtime state is never captured, so every
+        rehydrated copy starts pristine.
+        """
+        if self._rows is None:
+            self._rows = tuple(_job_to_row(job) for job in self.jobs)
+        return self._rows
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[dict[str, object]],
+        name: str = "trace",
+        metadata: dict[str, object] | None = None,
+    ) -> "Trace":
+        """Rebuild a trace from serialisation rows (inverse of frozen_rows)."""
+        return cls(
+            [_job_from_row(row) for row in rows],
+            name=name,
+            metadata=dict(metadata or {}),
+        )
 
     def to_csv(self, path: str | Path) -> None:
         with Path(path).open("w", newline="") as handle:
