@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping
 
+import numpy as np
+
 from ..errors import AllocationError
 from ..ids import NodeId
 from ..perf import PerfCounters
@@ -73,6 +75,38 @@ class ClusterIndex:
                     for count in range(1, node.free_gpus + 1):
                         hist[count] += 1
             self._free_hist[gpu_type] = hist
+        # -- array-of-structs mirror (placement inner loop) -------------------
+        # Parallel arrays aligned with ``_nodes_sorted``: free GPU count and
+        # health per node, kept exact by the same hooks that maintain the
+        # scalar aggregates.  Candidate scans become one vectorized mask over
+        # these arrays instead of a Python loop over Node objects; selected
+        # positions come back ascending, i.e. in the identical id order the
+        # object scan used, so placements are byte-for-byte unchanged.
+        self._free_arr: np.ndarray = np.array(
+            [n.free_gpus for n in ordered], dtype=np.int64
+        )
+        self._healthy_arr: np.ndarray = np.array(
+            [n.healthy for n in ordered], dtype=bool
+        )
+        self._pos_of: dict[NodeId, int] = {
+            node.node_id: position for position, node in enumerate(ordered)
+        }
+        self._type_positions: dict[str, np.ndarray] = {
+            gpu_type: np.array(
+                [self._pos_of[node.node_id] for node in members], dtype=np.int64
+            )
+            for gpu_type, members in self._by_type.items()
+        }
+        # -- relax epochs (dirty-set signal for the blocked-verdict cache) ----
+        # Placement feasibility is *monotone* between capacity-increasing
+        # events: allocations and failures only shrink the fit set, so a
+        # request that found no placement stays unplaceable until a free or
+        # repair occurs on a node it could use.  The epochs below tick on
+        # exactly those transitions (per GPU type, plus a global counter for
+        # untyped requests); schedulers compare a failure's epoch against the
+        # current one to skip provably-doomed placement attempts.
+        self._relax_epoch_by_type: dict[str, int] = dict.fromkeys(self._by_type, 0)
+        self.relax_epoch_global: int = 0
         #: Hot-path counters; the simulator rebinds a fresh struct per run.
         self.perf = PerfCounters()
 
@@ -106,6 +140,20 @@ class ClusterIndex:
         if gpu_type is None:
             return self._nodes_sorted
         return self._by_type.get(gpu_type, ())
+
+    def relax_epoch(self, gpu_type: str | None) -> int:
+        """Capacity-relaxation epoch for requests eligible on *gpu_type*.
+
+        Ticks whenever schedulable capacity that could serve such a request
+        *increases* (a free on a healthy node, a repair).  While the epoch
+        is unchanged, a placement failure observed under it is still valid —
+        the monotone-feasibility argument in the class docstring — which is
+        what lets the scheduler layer cache blocked verdicts.  Types absent
+        from the cluster pin at 0 (nothing can ever relax them).
+        """
+        if gpu_type is None:
+            return self.relax_epoch_global
+        return self._relax_epoch_by_type.get(gpu_type, 0)
 
     def nodes_with_free(self, gpu_type: str, chunk: int) -> int:
         """Healthy nodes of one type with >= *chunk* GPUs free — O(1).
@@ -143,22 +191,37 @@ class ClusterIndex:
         )
 
     def iter_candidates(self, gpu_type: str | None, chunk: int) -> Iterator[Node]:
-        """Nodes (id order) worth testing for a chunk, with perf accounting.
+        """Nodes (id order) with the chunk's GPUs free, with perf accounting.
 
-        Yields every node of the pool — callers apply their own fit
-        predicate — but short-circuits to nothing when :meth:`may_fit_chunk`
-        proves the scan pointless.  Nodes handed out are counted into
-        :attr:`perf` even when the consumer stops early (first-fit).
+        One vectorized mask over the array mirror selects healthy nodes
+        with ``>= chunk`` free GPUs; callers still apply their full fit
+        predicate (CPU/memory, allowed nodes) against the real ``Node``
+        objects, so every node the object scan would have accepted — and
+        only those — survives, in the identical id order (``np.nonzero``
+        returns ascending positions).  Nodes the mask drops would have
+        failed ``can_fit`` anyway.  Short-circuits to nothing when
+        :meth:`may_fit_chunk` proves the scan pointless; nodes handed out
+        are counted into :attr:`perf` even when the consumer stops early
+        (first-fit).
         """
         perf = self.perf
         perf.candidate_scans += 1
         if not self.may_fit_chunk(gpu_type, chunk):
             return
+        fits = self._healthy_arr & (self._free_arr >= chunk)
+        if gpu_type is None:
+            positions = np.nonzero(fits)[0]
+        else:
+            typed = self._type_positions.get(gpu_type)
+            if typed is None:
+                return
+            positions = typed[fits[typed]]
+        nodes = self._nodes_sorted
         examined = 0
         try:
-            for node in self.candidate_pool(gpu_type):
+            for position in positions:
                 examined += 1
-                yield node
+                yield nodes[position]
         finally:
             perf.nodes_examined += examined
 
@@ -172,6 +235,7 @@ class ClusterIndex:
         self._free_by_type[gpu_type] -= gpus
         hist = self._free_hist[gpu_type]
         free_now = node.free_gpus  # node books already reflect the grab
+        self._free_arr[self._pos_of[node.node_id]] = free_now
         for count in range(free_now + 1, free_now + gpus + 1):
             hist[count] -= 1
 
@@ -183,10 +247,13 @@ class ClusterIndex:
         GPUs do not become schedulable until repair.
         """
         self.used_gpus -= gpus
+        self._free_arr[self._pos_of[node.node_id]] = node.free_gpus
         if node.healthy:
             gpu_type = node.spec.gpu_type
             self.free_healthy_gpus += gpus
             self._free_by_type[gpu_type] += gpus
+            self._relax_epoch_by_type[gpu_type] += 1
+            self.relax_epoch_global += 1
             hist = self._free_hist[gpu_type]
             free_now = node.free_gpus
             for count in range(free_now - gpus + 1, free_now + 1):
@@ -195,6 +262,7 @@ class ClusterIndex:
     def on_fail(self, node: Node) -> None:
         """*node* just transitioned healthy → failed (books still intact)."""
         gpu_type = node.spec.gpu_type
+        self._healthy_arr[self._pos_of[node.node_id]] = False
         self.healthy_gpus -= node.spec.num_gpus
         self.free_healthy_gpus -= node.free_gpus
         self._free_by_type[gpu_type] -= node.free_gpus
@@ -205,9 +273,14 @@ class ClusterIndex:
     def on_repair(self, node: Node) -> None:
         """*node* just transitioned failed → healthy (books emptied)."""
         gpu_type = node.spec.gpu_type
+        position = self._pos_of[node.node_id]
+        self._healthy_arr[position] = True
+        self._free_arr[position] = node.free_gpus
         self.healthy_gpus += node.spec.num_gpus
         self.free_healthy_gpus += node.free_gpus
         self._free_by_type[gpu_type] += node.free_gpus
+        self._relax_epoch_by_type[gpu_type] += 1
+        self.relax_epoch_global += 1
         hist = self._free_hist[gpu_type]
         for count in range(1, node.free_gpus + 1):
             hist[count] += 1
@@ -254,3 +327,14 @@ class ClusterIndex:
                         f">={count} free: incremental={hist[count]} "
                         f"full-scan={scanned_count}"
                     )
+        for position, node in enumerate(self._nodes_sorted):
+            if self._free_arr[position] != node.free_gpus:
+                raise AllocationError(
+                    f"array mirror free count for {node.node_id} drifted: "
+                    f"array={int(self._free_arr[position])} node={node.free_gpus}"
+                )
+            if bool(self._healthy_arr[position]) != node.healthy:
+                raise AllocationError(
+                    f"array mirror health for {node.node_id} drifted: "
+                    f"array={bool(self._healthy_arr[position])} node={node.healthy}"
+                )

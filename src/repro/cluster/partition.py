@@ -9,6 +9,7 @@ partition is a thin policy object over the cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..errors import ConfigError
 from ..ids import NodeId, PartitionId
@@ -110,5 +111,5 @@ class PartitionTable:
     def __len__(self) -> int:
         return len(self.partitions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Partition]:
         return iter(self.partitions.values())

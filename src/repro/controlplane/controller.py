@@ -81,6 +81,7 @@ class ClusterController:
         checkpoint_loss_s: float = 30.0,
         max_job_preemptions: int = 0,
         record_timeline: bool = False,
+        record_transitions: bool = True,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -91,7 +92,7 @@ class ClusterController:
         self.jobs: dict[JobId, Job] = {}
         self.running: dict[JobId, Job] = {}
         self.lifecycles: dict[JobId, JobLifecycle] = {}
-        self.log = TransitionLog()
+        self.log = TransitionLog(retain_records=record_transitions)
         self.timeline: list[TimelineEvent] = []
         #: Planned outcome per (job, attempt); consumed when the attempt ends.
         self.attempt_outcomes: dict[tuple[JobId, int], AttemptOutcome] = {}

@@ -237,20 +237,33 @@ class TransitionLog:
 
     The single authoritative history: the timeline, churn metrics, the
     ``tcloud history`` verb, and the ops report all derive from it.
+
+    ``retain_records=False`` keeps every count exact but drops the record
+    objects themselves (``records`` stays empty, :meth:`for_job` returns
+    nothing).  At fleet scale a month-long million-job run emits several
+    million transitions — gigabytes of :class:`Transition` objects that
+    nothing reads when the caller only wants aggregate metrics.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, retain_records: bool = True) -> None:
+        self.retain_records = retain_records
         self.records: list[Transition] = []
+        self._total = 0
         self._by_target: dict[LifecycleState, int] = {}
         self._by_cause: dict[Cause, int] = {}
+        self._by_pair: dict[tuple[LifecycleState, Cause], int] = {}
 
     def append(self, transition: Transition) -> None:
-        self.records.append(transition)
+        if self.retain_records:
+            self.records.append(transition)
+        self._total += 1
         self._by_target[transition.target] = self._by_target.get(transition.target, 0) + 1
         self._by_cause[transition.cause] = self._by_cause.get(transition.cause, 0) + 1
+        pair = (transition.target, transition.cause)
+        self._by_pair[pair] = self._by_pair.get(pair, 0) + 1
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self._total
 
     def __iter__(self) -> Iterator[Transition]:
         return iter(self.records)
@@ -258,16 +271,15 @@ class TransitionLog:
     def count(
         self, target: LifecycleState | None = None, cause: Cause | None = None
     ) -> int:
-        """O(1) count by target state and/or cause (full scan only if both)."""
+        """O(1) count by target state and/or cause (exact even when record
+        retention is off — counts are maintained independently)."""
         if target is not None and cause is not None:
-            return sum(
-                1 for t in self.records if t.target is target and t.cause is cause
-            )
+            return self._by_pair.get((target, cause), 0)
         if target is not None:
             return self._by_target.get(target, 0)
         if cause is not None:
             return self._by_cause.get(cause, 0)
-        return len(self.records)
+        return self._total
 
     def for_job(self, job_id: str) -> list[Transition]:
         return [t for t in self.records if t.job_id == job_id]

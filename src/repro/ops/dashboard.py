@@ -103,6 +103,16 @@ def run_report(result: SimulationResult, top_n: int = 5) -> str:
         f"churn: {metrics.preemptions} preemptions, {metrics.node_failures} node "
         f"failures, {metrics.job_restarts} restarts\n"
     )
+    perf = result.perf
+    if perf.events_dequeued or perf.placement_attempts:
+        out.write(
+            f"hot path: {perf.events_dequeued:,} events"
+            f" (peak {perf.peak_pending_events:,} pending),"
+            f" {perf.scheduler_passes:,} passes,"
+            f" {perf.placement_attempts:,} placement attempts"
+            f" ({perf.nodes_per_attempt:.1f} nodes/attempt,"
+            f" blocked-cache hit rate {perf.blocked_cache_hit_rate:.0%})\n"
+        )
     if result.transitions:
         by_cause: dict[str, int] = {}
         for transition in result.transitions:

@@ -58,6 +58,16 @@ class Scheduler(abc.ABC):
     def __init__(self, placement: PlacementPolicy | None = None) -> None:
         self.placement = placement or FirstFitPlacement()
         self._queue: dict[JobId, Job] = {}
+        # Blocked-verdict cache: job id -> relax epoch at which placement
+        # last failed.  Feasibility is monotone between capacity-increasing
+        # events (allocations/failures only shrink the fit set; only frees
+        # and repairs can flip "no placement" to "placement", and those tick
+        # ``ClusterIndex.relax_epoch``), so while the epoch is unchanged the
+        # failure verdict is still exact and the placement policy need not
+        # be consulted.  This is what turns an O(queue x nodes) retry storm
+        # on a congested cluster into O(queue) dictionary lookups.
+        self._blocked_at_epoch: dict[JobId, int] = {}
+        self._blocked_index: object | None = None
 
     # -- queue management (called by the simulator) ----------------------------
 
@@ -83,15 +93,18 @@ class Scheduler(abc.ABC):
 
     def remove(self, job_id: JobId) -> Job | None:
         """Drop a job from the queue (kill before start); None if absent."""
+        self._blocked_at_epoch.pop(job_id, None)
         return self._queue.pop(job_id, None)
 
     def notify_start(self, job: Job, now: float) -> None:
         """Simulator notification: *job* left the queue and started."""
         self._queue.pop(job.job_id, None)
+        self._blocked_at_epoch.pop(job.job_id, None)
         self.on_start(job, now)
 
     def notify_finish(self, job: Job, now: float) -> None:
         """Simulator notification: *job* reached a terminal state."""
+        self._blocked_at_epoch.pop(job.job_id, None)
         self.on_finish(job, now)
 
     # -- policy hooks ------------------------------------------------------------
@@ -132,9 +145,34 @@ class Scheduler(abc.ABC):
     # -- shared helpers ------------------------------------------------------------
 
     def try_place(self, ctx: ScheduleContext, job: Job) -> dict[NodeId, int] | None:
-        """Ask the placement policy for a placement of *job* right now."""
-        ctx.cluster.index.perf.placement_attempts += 1
-        return self.placement.place(ctx.cluster, job.request)
+        """Ask the placement policy for a placement of *job* right now.
+
+        Failures are cached against the cluster index's relax epoch: until
+        capacity that could serve this job *increases* (a free or repair on
+        an eligible GPU type), the failure verdict is provably still exact,
+        so the placement policy is skipped entirely.  Returning the cached
+        ``None`` is byte-indistinguishable from re-running the scan, which
+        is what keeps golden summaries identical while collapsing
+        ``nodes_examined`` on congested clusters.
+        """
+        index = ctx.cluster.index
+        if index is not self._blocked_index:
+            # New cluster behind the same scheduler object (fresh run or a
+            # snapshot/fork): cached epochs are meaningless there.
+            self._blocked_index = index
+            self._blocked_at_epoch.clear()
+        perf = index.perf
+        perf.placement_attempts += 1
+        epoch = index.relax_epoch(job.request.gpu_type)
+        if self._blocked_at_epoch.get(job.job_id) == epoch:
+            perf.blocked_cache_hits += 1
+            return None
+        placement = self.placement.place(ctx.cluster, job.request)
+        if placement is None:
+            self._blocked_at_epoch[job.job_id] = epoch
+        else:
+            self._blocked_at_epoch.pop(job.job_id, None)
+        return placement
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r} queued={len(self._queue)}>"

@@ -90,6 +90,11 @@ class SimConfig:
         record_timeline: Record every lifecycle event as a
             :class:`TimelineEvent` on the result (Gantt rendering,
             debugging).  Off by default: it grows with job count.
+        record_transitions: Retain the control plane's individual
+            :class:`Transition` records on the result.  On by default;
+            fleet-scale runs (~1M jobs) turn it off to save gigabytes —
+            all aggregate counts (``log.count``, churn metrics, the ops
+            report's by-cause table) stay exact either way.
     """
 
     sample_interval_s: float = 600.0
@@ -102,6 +107,7 @@ class SimConfig:
     enforce_walltime: bool = False
     max_job_preemptions: int = 0
     record_timeline: bool = False
+    record_transitions: bool = True
 
 
 @dataclass
@@ -118,7 +124,9 @@ class SimulationResult:
     events_processed: int
     timeline: list["TimelineEvent"] = field(default_factory=list)
     #: The control plane's full transition log: every lifecycle edge of
-    #: every job, with cause/actor/timestamp.  Always recorded (O(#edges)).
+    #: every job, with cause/actor/timestamp.  Empty when the run set
+    #: ``record_transitions=False`` (fleet scale); aggregate counts are
+    #: kept exact on the controller's log either way.
     transitions: list[Transition] = field(default_factory=list)
     #: Hot-path counters (wall time, nodes examined).  Observational only:
     #: excluded from summary() so results stay byte-identical across runs.
@@ -165,6 +173,7 @@ class ClusterSimulator:
             checkpoint_loss_s=self.config.checkpoint_loss_s,
             max_job_preemptions=self.config.max_job_preemptions,
             record_timeline=self.config.record_timeline,
+            record_transitions=self.config.record_transitions,
         )
         self.jobs: dict[JobId, Job] = self.controller.jobs
         self.running: dict[JobId, Job] = self.controller.running
@@ -272,6 +281,11 @@ class ClusterSimulator:
         self.engine.run(until=until, max_events=self.config.max_events)
         now = self.engine.now
         self.metrics.on_used_changed(now, self.cluster.used_gpus)
+        # Event-queue telemetry lives on the engine; fold it into the run's
+        # counters so benchmarks and run reports see one flat struct.
+        self.perf.events_enqueued = self.engine.events_enqueued
+        self.perf.events_dequeued = self.engine.events_processed
+        self.perf.peak_pending_events = self.engine.peak_pending
         serving_metrics = self.serving.finalize(now) if self.serving is not None else None
         return SimulationResult(
             scheduler=self.scheduler.name,

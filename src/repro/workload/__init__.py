@@ -1,6 +1,7 @@
 """Workload model: jobs, traces, synthesis, and DNN model profiles."""
 
 from .adapters import load_public_trace
+from .fleet import FleetTraceSynthesizer, fleet_trace
 from .job import (
     FailureCategory,
     FailurePlan,
@@ -39,6 +40,7 @@ __all__ = [
     "DurationModel",
     "FailureCategory",
     "FailurePlan",
+    "FleetTraceSynthesizer",
     "Job",
     "JobState",
     "JobTier",
@@ -53,6 +55,7 @@ __all__ = [
     "deadline_cycle",
     "expected_gpu_seconds_per_job",
     "default_profile_for",
+    "fleet_trace",
     "get_model_profile",
     "helios_like",
     "philly_like",

@@ -1,0 +1,128 @@
+"""Vectorized fleet trace synthesis: determinism, shape, and scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.fleet import FleetTraceSynthesizer, fleet_trace
+from repro.workload.job import JobTier
+from repro.workload.synth import tacc_campus
+
+
+def _fingerprint(trace):
+    return [
+        (
+            job.job_id,
+            job.user_id,
+            job.lab_id,
+            job.submit_time,
+            job.duration,
+            job.tier.value,
+            job.walltime_estimate,
+            job.interactive,
+            job.preemptible,
+            job.elastic_min_gpus,
+            job.dataset_gb,
+            job.request.num_gpus,
+            job.request.gpus_per_node,
+            job.request.gpu_type,
+            job.request.cpus_per_gpu,
+            job.request.memory_gb_per_gpu,
+            None
+            if job.failure_plan is None
+            else (job.failure_plan.category.value, job.failure_plan.at_fraction),
+        )
+        for job in trace.jobs
+    ]
+
+
+@pytest.fixture(scope="module")
+def day_trace():
+    return fleet_trace(tacc_campus(days=2, jobs_per_day=800.0), seed=42)
+
+
+def test_same_seed_same_trace(day_trace):
+    again = fleet_trace(tacc_campus(days=2, jobs_per_day=800.0), seed=42)
+    assert _fingerprint(day_trace) == _fingerprint(again)
+
+
+def test_different_seed_different_trace(day_trace):
+    other = fleet_trace(tacc_campus(days=2, jobs_per_day=800.0), seed=43)
+    assert _fingerprint(day_trace) != _fingerprint(other)
+
+
+def test_ids_are_canonically_ordered(day_trace):
+    ids = [job.job_id for job in day_trace.jobs]
+    assert ids == sorted(ids)
+    # Trace's canonical sort is (submit_time, job_id); ids assigned in
+    # submit order mean the trace order IS submit order.
+    times = [job.submit_time for job in day_trace.jobs]
+    assert times == sorted(times)
+    assert all(job_id.startswith("job-") and len(job_id) == 12 for job_id in ids)
+
+
+def test_arrivals_within_horizon(day_trace):
+    horizon = 2 * 86400.0
+    assert all(0.0 <= job.submit_time < horizon for job in day_trace.jobs)
+
+
+def test_field_shapes(day_trace):
+    cfg = tacc_campus(days=2, jobs_per_day=800.0)
+    valid_demands = set(cfg.gpu_demand_pmf) | {1, 2}
+    for job in day_trace.jobs:
+        assert job.request.num_gpus in valid_demands
+        assert job.walltime_estimate is not None
+        assert job.walltime_estimate >= job.duration
+        assert job.duration > 0
+        if job.interactive:
+            assert job.request.num_gpus <= 2
+            assert job.duration <= cfg.interactive_max_minutes * 60.0
+            assert job.dataset_gb == 0.0
+        if job.request.num_gpus > cfg.gpus_per_node_cap:
+            assert job.request.gpus_per_node == cfg.gpus_per_node_cap
+
+
+def test_requests_are_interned(day_trace):
+    distinct = {id(job.request) for job in day_trace.jobs}
+    # A handful of shapes (demand x type x cpus x memory), not one per job.
+    assert len(distinct) < len(day_trace.jobs) / 2
+
+
+def test_mix_tracks_config(day_trace):
+    cfg = tacc_campus(days=2, jobs_per_day=800.0)
+    jobs = day_trace.jobs
+    interactive = sum(job.interactive for job in jobs) / len(jobs)
+    guaranteed = sum(job.tier is JobTier.GUARANTEED for job in jobs) / len(jobs)
+    failures = sum(job.failure_plan is not None for job in jobs) / len(jobs)
+    assert interactive == pytest.approx(cfg.interactive_fraction, abs=0.05)
+    assert guaranteed == pytest.approx(cfg.guaranteed_fraction, abs=0.05)
+    assert failures == pytest.approx(cfg.failure_fraction, abs=0.04)
+
+
+def test_lab_shares_skewed(day_trace):
+    counts: dict[str, int] = {}
+    for job in day_trace.jobs:
+        counts[job.lab_id] = counts.get(job.lab_id, 0) + 1
+    assert counts["lab-00"] > counts.get("lab-11", 0)
+
+
+def test_volume_tracks_jobs_per_day():
+    trace = fleet_trace(tacc_campus(days=4, jobs_per_day=500.0), seed=7)
+    # NHPP mean is days * jobs_per_day; allow generous Poisson slack.
+    assert 4 * 500 * 0.8 < len(trace) < 4 * 500 * 1.2
+
+
+def test_fleet_scale_smoke():
+    """~50k jobs must synthesize in well under a minute (scaled stand-in
+    for the ~1M-job month, which runs at the same per-job cost)."""
+    import time
+
+    cfg = tacc_campus(days=5, jobs_per_day=10_000.0)
+    start = time.perf_counter()
+    trace = fleet_trace(cfg, seed=3)
+    elapsed = time.perf_counter() - start
+    assert len(trace) > 30_000
+    assert elapsed < 30.0
+    ids = np.array([job.job_id for job in trace.jobs])
+    assert len(np.unique(ids)) == len(ids)
