@@ -18,6 +18,7 @@ SIMULATION = (
     "repro/cluster/",
     "repro/execlayer/",
     "repro/sweep/",
+    "repro/federation/",
 )
 
 #: Scheduler/placement hot paths where iteration order decides outcomes.
@@ -27,6 +28,7 @@ ORDER_SENSITIVE = (
     "repro/serving/",
     "repro/controlplane/",
     "repro/cluster/",
+    "repro/federation/",
 )
 
 #: Result-producing code where float equality silently misclassifies.

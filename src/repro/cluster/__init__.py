@@ -1,6 +1,7 @@
 """Cluster substrate: heterogeneous GPU nodes, racks, fabric, partitions."""
 
 from .cluster import (
+    HETEROGENEOUS_MIX,
     Cluster,
     ClusterSpec,
     JobAllocation,
@@ -8,6 +9,8 @@ from .cluster import (
     Placement,
     build_cluster,
     build_tacc_cluster,
+    heterogeneous_cluster,
+    heterogeneous_cluster_spec,
     tacc_cluster_spec,
     uniform_cluster,
 )
@@ -19,6 +22,7 @@ from .topology import FabricSpec, Locality, Topology
 
 __all__ = [
     "GPU_CATALOG",
+    "HETEROGENEOUS_MIX",
     "Cluster",
     "ClusterIndex",
     "ClusterSpec",
@@ -37,6 +41,8 @@ __all__ = [
     "build_cluster",
     "build_tacc_cluster",
     "get_gpu_spec",
+    "heterogeneous_cluster",
+    "heterogeneous_cluster_spec",
     "register_gpu_spec",
     "tacc_cluster_spec",
     "uniform_cluster",

@@ -406,6 +406,88 @@ def build_tacc_cluster() -> Cluster:
     return cluster
 
 
+#: Node flavours of the heterogeneous fleet preset, keyed by gpu type:
+#: (cpus, memory_gb, nic_gbps), mirroring the campus cluster's hardware.
+_HET_NODE_FLAVOURS: dict[str, tuple[int, float, float]] = {
+    "a100-80": (128, 1024.0, 200.0),
+    "v100": (96, 768.0, 100.0),
+    "rtx3090": (64, 512.0, 50.0),
+}
+
+#: Default gpu-type mix of the heterogeneous fleet preset: the campus
+#: cluster's 8-GPU node proportions (a100 : v100 : rtx3090 = 32 : 80 : 48),
+#: which also covers every type the synthetic workloads may demand.
+HETEROGENEOUS_MIX: tuple[tuple[str, float], ...] = (
+    ("a100-80", 0.20),
+    ("v100", 0.50),
+    ("rtx3090", 0.30),
+)
+
+
+def heterogeneous_cluster_spec(
+    num_nodes: int,
+    gpus_per_node: int = 8,
+    mix: tuple[tuple[str, float], ...] = HETEROGENEOUS_MIX,
+    nodes_per_rack: int = 8,
+    name: str | None = None,
+) -> ClusterSpec:
+    """A mixed-gpu-type fleet: *num_nodes* nodes split by the *mix* weights.
+
+    Uniform benchmark clusters reject every job that names a gpu type the
+    cluster lacks (~20 % of a campus-shaped trace); this preset carries
+    all the types the synthetic workloads demand, in campus-like
+    proportions, so fleet-scale benchmarks and federation sites exercise
+    type-constrained placement instead of discarding it at admission.
+    Node counts are rounded deterministically with the remainder going to
+    the first (largest-weight stays stable) entry.
+    """
+    if num_nodes <= 0:
+        raise ConfigError("heterogeneous cluster needs a positive node count")
+    weights = [max(0.0, weight) for _gpu_type, weight in mix]
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ConfigError("heterogeneous mix weights must not all be zero")
+    counts = [int(num_nodes * weight / total_weight) for weight in weights]
+    counts[0] += num_nodes - sum(counts)  # deterministic remainder placement
+    groups = []
+    for (gpu_type, _weight), count in zip(mix, counts):
+        if count <= 0:
+            continue
+        cpus, memory_gb, nic_gbps = _HET_NODE_FLAVOURS.get(gpu_type, (96, 768.0, 100.0))
+        groups.append(
+            NodeGroup(
+                count,
+                NodeSpec(gpu_type, gpus_per_node, cpus, memory_gb, nic_gbps=nic_gbps),
+                nodes_per_rack=nodes_per_rack,
+            )
+        )
+    return ClusterSpec(
+        name=name or f"het-{num_nodes}x{gpus_per_node}",
+        groups=tuple(groups),
+        fabric=FabricSpec(node_uplink_gbps=100.0, leaf_uplink_gbps=400.0, oversubscription=2.0),
+    )
+
+
+def heterogeneous_cluster(
+    num_nodes: int,
+    gpus_per_node: int = 8,
+    mix: tuple[tuple[str, float], ...] = HETEROGENEOUS_MIX,
+    nodes_per_rack: int = 8,
+    name: str | None = None,
+) -> Cluster:
+    """Build the heterogeneous fleet preset (see
+    :func:`heterogeneous_cluster_spec`)."""
+    return build_cluster(
+        heterogeneous_cluster_spec(
+            num_nodes,
+            gpus_per_node=gpus_per_node,
+            mix=mix,
+            nodes_per_rack=nodes_per_rack,
+            name=name,
+        )
+    )
+
+
 def uniform_cluster(
     num_nodes: int,
     gpus_per_node: int = 8,

@@ -331,11 +331,13 @@ class ClusterController:
                 )
                 self.scheduler.enqueue(job, now)
         self.metrics.node_failures += 1
+        self.metrics.on_healthy_changed(now, self.cluster.healthy_gpus)
         self._record_infra(now, "node_down", node_id)
         return victim_ids
 
     def apply_node_repair(self, now: float, node_id: NodeId) -> None:
         self.cluster.repair_node(node_id)
+        self.metrics.on_healthy_changed(now, self.cluster.healthy_gpus)
         self._record_infra(now, "node_up", node_id)
 
     # -- internals ----------------------------------------------------------------

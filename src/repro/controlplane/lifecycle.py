@@ -123,6 +123,7 @@ class Cause(enum.Enum):
     WALLTIME_LIMIT = "walltime_limit"
     USER_KILL = "user_kill"
     SERVICE_RETIRE = "service_retire"  # serving autoscaler scale-down/horizon
+    MIGRATE = "migrate"  # checkpoint-and-migrate to another cluster
 
 
 class Actor(enum.Enum):
@@ -134,6 +135,7 @@ class Actor(enum.Enum):
     SIMULATOR = "simulator"
     FAILURE_INJECTOR = "failure_injector"
     AUTOSCALER = "autoscaler"
+    FEDERATION = "federation"  # the cross-cluster router/migrator
 
 
 #: Timeline event kind emitted when a job *enters* each state (KILLED is

@@ -1,0 +1,134 @@
+"""F-FED: multi-site federation vs a single overloaded home cluster.
+
+Three heterogeneous campus sites — different sizes, schedulers, failure
+regimes, seeds — share one load-calibrated trace.  The ``home`` arm
+routes everything to the first site with cross-cluster machinery off
+(the no-federation baseline: remote capacity exists but sits idle),
+while the real policies spread and migrate work across the fleet.  The
+gap in fleet goodput is the capacity federation recovers.
+
+Every arm is declared as a :class:`~repro.sweep.SimCell` (the
+``federation`` field), so the comparison runs through the sweep engine
+with content-addressed caching like any single-cluster experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .. import sweep
+from ..federation.spec import FederationSpec, SiteSpec
+from ..sweep import ClusterSpec, SchedulerSpec, SimCell
+from ..workload.synth import DurationModel
+from .common import ExperimentResult, campus_trace_spec
+
+#: The three campus sites: a big backfill site, a mid-size FIFO site with
+#: flakier hardware, and a small SJF site.  200 fleet GPUs total.
+FED_SITES = (
+    SiteSpec(
+        name="site-a",
+        cluster=ClusterSpec(kind="het", nodes=12),
+        scheduler=SchedulerSpec(name="backfill-easy"),
+        seed=11,
+    ),
+    SiteSpec(
+        name="site-b",
+        cluster=ClusterSpec(kind="het", nodes=8),
+        scheduler=SchedulerSpec(name="fifo"),
+        failures={"mtbf_hours": 360.0, "repair_hours_median": 4.0},
+        seed=22,
+    ),
+    SiteSpec(
+        name="site-c",
+        cluster=ClusterSpec(kind="het", nodes=5),
+        scheduler=SchedulerSpec(name="sjf"),
+        seed=33,
+    ),
+)
+
+#: Policies compared against the ``home`` baseline.
+FED_POLICIES = ("first-feasible", "least-queued", "most-free", "goodput-aware")
+
+
+def _fleet_gpus() -> int:
+    return sum(site.cluster.total_gpus for site in FED_SITES)
+
+
+def _federation_cells(seed: int, scale: float) -> dict[str, SimCell]:
+    # Full fleet load with the multi-week duration tail capped: the
+    # uncapped p-max straggler would set every arm's horizon and drown
+    # the makespan signal the goodput denominator carries.
+    tspec = campus_trace_spec(
+        seed,
+        scale,
+        days=7.0,
+        load=1.0,
+        cluster_gpus=_fleet_gpus(),
+        duration=DurationModel(max_seconds=36.0 * 3600.0),
+        elastic_fraction=0.15,
+    )
+    base = FederationSpec(sites=FED_SITES, policy="least-queued")
+    cells = {
+        policy: SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy"),
+            federation=dataclasses.replace(base, policy=policy),
+        )
+        for policy in FED_POLICIES
+    }
+    # The no-federation arm: same fleet, same trace, but everything lands
+    # on site-a and nothing ever moves — remote capacity counts in the
+    # fleet total yet serves nothing, which is exactly the waste a
+    # federation exists to recover.
+    cells["home"] = SimCell(
+        trace=tspec,
+        scheduler=SchedulerSpec(name="backfill-easy"),
+        federation=dataclasses.replace(
+            base, policy="home", tick_s=0.0, elastic_growth=False
+        ),
+    )
+    return cells
+
+
+def run_f_fed(seed: int, scale: float) -> ExperimentResult:
+    """F-FED: fleet goodput decomposition per cross-cluster routing policy."""
+    runs = sweep.run_cells(_federation_cells(seed, scale))
+    rows = []
+    for policy, result in runs.items():
+        summary = result.summary
+        rows.append(
+            {
+                "policy": policy,
+                "goodput": round(summary["goodput"], 4),
+                "availability": round(summary["availability"], 4),
+                "efficiency": round(summary["efficiency"], 4),
+                "productive_share": round(summary["productive_share"], 4),
+                "productive_gpu_h": round(summary["productive_gpu_h"], 1),
+                "completed": summary["completed"],
+                "p50_jct_h": round(summary["p50_jct_h"], 2),
+                "avg_wait_h": round(summary["avg_wait_h"], 2),
+                "migrations": result.extras["migrations"],
+            }
+        )
+    rows.sort(key=lambda row: -float(row["goodput"]))
+    home = next(row for row in rows if row["policy"] == "home")
+    best = rows[0]
+    gain = float(best["goodput"]) - float(home["goodput"])
+    return ExperimentResult(
+        "F-FED",
+        "Federated multi-site goodput by routing policy",
+        rows=rows,
+        notes=(
+            f"Three heterogeneous sites ({_fleet_gpus()} fleet GPUs), one "
+            f"trace calibrated to the full fleet's capacity. The home arm "
+            f"funnels everything to site-a, so fleet goodput collapses to "
+            f"{float(home['goodput']):.1%} — the other sites' GPU-hours are "
+            f"in the denominator but serve nothing. {best['policy']} recovers "
+            f"that idle capacity: {float(best['goodput']):.1%} fleet goodput "
+            f"(+{gain:.1%} absolute), with checkpoint-and-migrate rescuing "
+            f"queue-stuck jobs across sites. Availability < 100% on site-b "
+            f"reflects its injected node failures; the decomposition "
+            f"(availability × efficiency × productive share) isolates each "
+            f"loss mechanism per site and for the fleet."
+        ),
+    )

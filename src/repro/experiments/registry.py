@@ -22,6 +22,7 @@ from .characterization import (
     run_t1_cluster_composition,
 )
 from .common import ExperimentResult, ExperimentSpec
+from .federation import run_f_fed
 from .quota_placement import run_f7_quota_tiers, run_f8_placement, run_t5_fairness
 from .serving import run_s1_serving_slo, run_s2_serving_colocation
 from .scheduling import (
@@ -132,6 +133,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "A5", "Learned runtime predictions", "table", run_a5_learned_predictions,
             "Online per-user runtime prediction vs user estimates vs oracle SJF.",
+        ),
+        ExperimentSpec(
+            "F-FED", "Federated multi-site goodput", "table", run_f_fed,
+            "Cross-cluster routing/migration policies vs a single overloaded home site, with the fleet goodput decomposition.",
         ),
     ]
 }

@@ -1,0 +1,37 @@
+"""Multi-cluster federation: N campus sites under one event loop.
+
+The federation layer composes several :class:`~repro.sim.simulator.
+ClusterSimulator` instances — each a full site with its own hardware mix,
+scheduler/quota regime, and failure plan — and advances them in
+deterministic lockstep.  A cross-cluster router places each arriving job
+(:mod:`repro.federation.routing`), a periodic migration pass
+checkpoint-and-migrates long-waiting or elastic jobs between sites with a
+modelled WAN transfer and restore cost, and the result carries both
+per-site :class:`~repro.sim.metrics.SimMetrics` and a fleet-level merge
+whose goodput decomposition (availability × efficiency × productive
+share) sums exactly from the site components.
+"""
+
+from .build import build_federation, build_site
+from .federation import (
+    FederationResult,
+    FederationSimulator,
+    FederationSite,
+    MigrationEvent,
+    SiteResult,
+)
+from .routing import ROUTING_POLICIES
+from .spec import FederationSpec, SiteSpec
+
+__all__ = [
+    "FederationResult",
+    "FederationSimulator",
+    "FederationSite",
+    "FederationSpec",
+    "MigrationEvent",
+    "ROUTING_POLICIES",
+    "SiteResult",
+    "SiteSpec",
+    "build_federation",
+    "build_site",
+]

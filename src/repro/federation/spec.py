@@ -1,0 +1,97 @@
+"""Declarative federation specs: pure data, sweep-cell compatible.
+
+A :class:`FederationSpec` describes a whole federated run — the sites
+(each a cluster recipe plus its own scheduler, failure plan, and seed)
+and the cross-cluster policy knobs — as plain frozen dataclasses, so it
+canonicalises through :func:`repro.sweep.spec.canonical_json` and rides
+inside a :class:`~repro.sweep.spec.SimCell` (content-addressed caching
+and worker fan-out included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConfigError
+from ..sweep.spec import ClusterSpec, SchedulerSpec
+from .routing import ROUTING_POLICIES
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One federated site: a cluster plus its local operating regime.
+
+    ``scheduler=None`` inherits the federation-level default (for cells,
+    the cell's scheduler spec).  ``failures`` are
+    :class:`~repro.sim.failures.FailureConfig` kwargs (``None`` = no
+    injection at this site).  ``seed`` feeds the site's own
+    :class:`~repro.sim.simulator.SimConfig` so failure sampling streams
+    are independent across sites.
+    """
+
+    name: str
+    cluster: ClusterSpec
+    scheduler: SchedulerSpec | None = None
+    failures: dict[str, Any] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("federation sites need a non-empty name")
+
+
+@dataclass(frozen=True)
+class FederationSpec:
+    """The federated fleet and its cross-cluster policy knobs.
+
+    Attributes:
+        sites: Site recipes, in declaration order (routing tie-break order).
+        policy: Routing policy name (see
+            :data:`~repro.federation.routing.ROUTING_POLICIES`).
+        tick_s: Period of the migration/elastic pass (0 disables both).
+        migrate_after_wait_s: Queued jobs waiting longer than this become
+            migration candidates.
+        wan_gbps: Inter-site WAN bandwidth used to model checkpoint +
+            dataset transfer time.
+        checkpoint_gb_per_gpu: Checkpoint size scaling with job width.
+        restore_s: Work re-done when resuming from a migrated checkpoint
+            (non-productive in the goodput decomposition).
+        elastic_growth: Migrate running elastic jobs to a site that can
+            fit their full width when they are running narrow.
+        elastic_cooldown_s: Minimum time between moves of the same job.
+        max_migrations_per_job: Migration budget per job (0 = never).
+    """
+
+    sites: tuple[SiteSpec, ...]
+    policy: str = "least-queued"
+    tick_s: float = 1800.0
+    migrate_after_wait_s: float = 7200.0
+    wan_gbps: float = 10.0
+    checkpoint_gb_per_gpu: float = 2.0
+    restore_s: float = 120.0
+    elastic_growth: bool = True
+    elastic_cooldown_s: float = 21600.0
+    max_migrations_per_job: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ConfigError("a federation needs at least one site")
+        names = [site.name for site in self.sites]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"federation site names must be unique: {names}")
+        if self.policy not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"unknown routing policy {self.policy!r}; "
+                f"known: {sorted(ROUTING_POLICIES)}"
+            )
+        if self.tick_s < 0:
+            raise ConfigError("tick_s must be >= 0")
+        if self.wan_gbps <= 0:
+            raise ConfigError("wan_gbps must be positive")
+        if self.checkpoint_gb_per_gpu < 0 or self.restore_s < 0:
+            raise ConfigError("checkpoint/restore costs must be non-negative")
+        if self.migrate_after_wait_s < 0 or self.elastic_cooldown_s < 0:
+            raise ConfigError("migration wait/cooldown must be non-negative")
+        if self.max_migrations_per_job < 0:
+            raise ConfigError("max_migrations_per_job must be >= 0")

@@ -1,6 +1,6 @@
 """Operational analytics: distributions, fairness, fragmentation, reports."""
 
-from .dashboard import live_dashboard, run_report
+from .dashboard import federation_report, live_dashboard, run_report
 from .energy import EnergyConfig, EnergyReport, energy_report
 from .planning import ExpansionOption, plan_capacity, what_if
 from .timeline import JobSegment, job_segments, render_gantt
@@ -39,6 +39,7 @@ __all__ = [
     "gpu_demand_distribution",
     "gpu_hours_by_entity",
     "JobSegment",
+    "federation_report",
     "jain_index",
     "live_dashboard",
     "queue_depth_series",

@@ -14,6 +14,7 @@ consumers, fragmentation, and incident counts.  Two entry points:
 from __future__ import annotations
 
 import io
+from typing import TYPE_CHECKING
 
 from ..cluster.cluster import Cluster
 from ..sim.simulator import SimulationResult
@@ -22,6 +23,9 @@ from .analytics import utilization_series, wait_cdf
 from .fairness import fairness_summary, gpu_hours_by_entity
 from .fragmentation import snapshot
 from .reports import render_table, sparkline
+
+if TYPE_CHECKING:
+    from ..federation.federation import FederationResult
 
 
 def _format_hours(seconds: float) -> str:
@@ -96,6 +100,14 @@ def run_report(result: SimulationResult, top_n: int = 5) -> str:
         f"avg utilization {metrics.avg_utilization:.0%} over "
         f"{result.end_time / 86400.0:.1f} simulated days\n"
     )
+    goodput = metrics.goodput
+    if goodput is not None:
+        out.write(
+            f"goodput: {goodput.goodput:.1%} = availability {goodput.availability:.1%}"
+            f" × efficiency {goodput.efficiency:.1%}"
+            f" × productive {goodput.productive_share:.1%}"
+            f" ({goodput.productive_gpu_hours:,.0f} productive GPU-h)\n"
+        )
     series = utilization_series(result.samples, bin_s=6 * 3600.0)
     if series:
         out.write(f"utilization (6h bins): {sparkline([y for _x, y in series])}\n")
@@ -153,4 +165,61 @@ def run_report(result: SimulationResult, top_n: int = 5) -> str:
         out.write(render_table(rows, title=f"top {len(top)} users by GPU-hours"))
     fairness = fairness_summary(result.jobs, key="lab_id")
     out.write(f"lab fairness: Jain {fairness['jain']:.3f} across {fairness['entities']:.0f} labs\n")
+    return out.getvalue()
+
+
+def federation_report(result: "FederationResult") -> str:
+    """Render the retrospective of a federated run: fleet + per-site view.
+
+    The per-site table carries each site's own goodput decomposition; the
+    fleet line above it is the exact merge (shared horizon, shell progress
+    re-credited), so the productive GPU-hours column sums to the fleet
+    figure plus the migrated-checkpoint credit.
+    """
+    out = io.StringIO()
+    fleet = result.metrics
+    out.write(
+        f"=== federation report: {len(result.sites)} sites, "
+        f"{result.end_time / 86400.0:.1f} simulated days ===\n"
+    )
+    out.write(
+        f"fleet jobs: {fleet.jobs_total} total — {fleet.jobs_completed} completed, "
+        f"{fleet.jobs_failed} failed, {fleet.jobs_killed} killed, "
+        f"{fleet.rejected_jobs} rejected at submit\n"
+    )
+    goodput = result.goodput
+    out.write(
+        f"fleet goodput: {goodput.goodput:.1%} = availability {goodput.availability:.1%}"
+        f" × efficiency {goodput.efficiency:.1%}"
+        f" × productive {goodput.productive_share:.1%}"
+        f" ({goodput.productive_gpu_hours:,.0f} productive GPU-h of"
+        f" {goodput.total_gpu_hours:,.0f} total)\n"
+    )
+    moved = sum(1 for event in result.migrations if not event.was_running)
+    grown = len(result.migrations) - moved
+    out.write(
+        f"migrations: {len(result.migrations)} ({moved} queue rescues, "
+        f"{grown} elastic growths), "
+        f"{result.migrated_shell_gpu_hours:,.1f} GPU-h carried in checkpoints\n"
+    )
+    rows = []
+    for site in result.sites:
+        metrics = site.metrics
+        site_goodput = metrics.goodput
+        rows.append(
+            {
+                "site": site.name,
+                "routed": site.routed_jobs,
+                "completed": metrics.jobs_completed,
+                "goodput": f"{site_goodput.goodput:.1%}" if site_goodput else "-",
+                "avail": f"{site_goodput.availability:.1%}" if site_goodput else "-",
+                "eff": f"{site_goodput.efficiency:.1%}" if site_goodput else "-",
+                "productive_gpu_h": (
+                    round(site_goodput.productive_gpu_hours, 1) if site_goodput else "-"
+                ),
+                "preempt": metrics.preemptions,
+                "failures": metrics.node_failures,
+            }
+        )
+    out.write(render_table(rows, title="per-site decomposition"))
     return out.getvalue()

@@ -17,6 +17,7 @@ from .events import (
 )
 from .failures import FailureConfig, FailureInjector
 from .metrics import (
+    GoodputMetrics,
     MetricsCollector,
     Sample,
     ServingMetrics,
@@ -31,6 +32,7 @@ __all__ = [
     "Event",
     "FailureConfig",
     "FailureInjector",
+    "GoodputMetrics",
     "JobArrival",
     "JobFinish",
     "MetricsCollector",

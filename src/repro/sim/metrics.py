@@ -66,6 +66,30 @@ class MetricsCollector:
     _last_time: float = 0.0
     _used_gpus: int = 0
     _used_integral: float = 0.0  # gpu-seconds
+    _healthy_last_time: float = 0.0
+    _healthy_gpus: int = field(default=-1)  # -1 = "all of total_gpus" (lazy init)
+    _healthy_integral: float = 0.0  # gpu-seconds of healthy capacity
+
+    def on_healthy_changed(self, now: float, healthy_gpus: int) -> None:
+        """Advance the healthy-capacity integral to *now* with the new level.
+
+        Feeds the *availability* factor of the goodput decomposition:
+        healthy GPU-seconds over total GPU-seconds.  Called on node
+        failure/repair; between calls the level is held constant.
+        """
+        if now < self._healthy_last_time - 1e-9:
+            raise SimulationError(
+                f"metrics time went backwards: {now} < {self._healthy_last_time}"
+            )
+        level = self._healthy_gpus if self._healthy_gpus >= 0 else self.total_gpus
+        self._healthy_integral += level * max(0.0, now - self._healthy_last_time)
+        self._healthy_last_time = now
+        self._healthy_gpus = healthy_gpus
+
+    def healthy_gpu_seconds(self, now: float) -> float:
+        """Exact healthy-capacity GPU-seconds from time 0 to *now*."""
+        level = self._healthy_gpus if self._healthy_gpus >= 0 else self.total_gpus
+        return self._healthy_integral + level * max(0.0, now - self._healthy_last_time)
 
     def on_used_changed(self, now: float, used_gpus: int) -> None:
         """Advance the utilization integral to *now* with the new level."""
@@ -88,6 +112,36 @@ class MetricsCollector:
         if now <= 0 or self.total_gpus == 0:
             return 0.0
         return self.served_gpu_seconds(now) / (self.total_gpus * now)
+
+    @classmethod
+    def merged(cls, collectors: Sequence["MetricsCollector"], now: float) -> "MetricsCollector":
+        """Fold several sites' collectors into one fleet-level collector.
+
+        Integrals are finalised at the common horizon *now* (every site's
+        exact GPU-second integral is evaluated there, so per-site figures
+        sum exactly to the fleet figure) and counters are summed.  Samples
+        are not merged — per-site time series stay on the site results.
+        """
+        fleet = cls(total_gpus=sum(c.total_gpus for c in collectors))
+        for collector in collectors:
+            fleet._used_integral += collector.served_gpu_seconds(now)
+            fleet._healthy_integral += collector.healthy_gpu_seconds(now)
+            # Counter aggregation on a fresh collector, not a job lifecycle
+            # write — the underlying transitions were already controller-logged
+            # at their sites.
+            fleet.preemptions += collector.preemptions  # simlint: disable=R3
+            fleet.node_failures += collector.node_failures
+            fleet.job_restarts += collector.job_restarts
+            fleet.rejected_jobs += collector.rejected_jobs
+            fleet.provision_seconds += collector.provision_seconds
+            fleet.stage_seconds += collector.stage_seconds
+            fleet.walltime_kills += collector.walltime_kills
+            fleet.scheduler_passes += collector.scheduler_passes
+        fleet._last_time = now
+        fleet._healthy_last_time = now
+        fleet._used_gpus = 0
+        fleet._healthy_gpus = 0
+        return fleet
 
 
 @dataclass(frozen=True)
@@ -128,6 +182,86 @@ class ServingMetrics:
 
 
 @dataclass(frozen=True)
+class GoodputMetrics:
+    """The ML-productivity goodput decomposition of one run (or fleet).
+
+    Follows the TPU-fleet framing: *goodput* is the share of the
+    theoretically available GPU-time that produced retained training
+    progress, factored into three multiplicative terms::
+
+        goodput = availability × efficiency × productive_share
+                = (healthy / total) × (served / healthy) × (productive / served)
+                = productive / total            (the identity is exact)
+
+    * **availability** — healthy GPU-time over total GPU-time (node
+      failures and repair lag erode it);
+    * **efficiency** — allocated (served) GPU-time over healthy GPU-time
+      (queueing gaps and fragmentation erode it — this is classic
+      utilization measured against *healthy* capacity);
+    * **productive_share** — GPU-time that produced retained progress
+      over allocated GPU-time (setup/provisioning, execution slowdown,
+      discarded attempts, checkpoint loss, and migration restore/warmup
+      erode it).
+
+    Absolute GPU-hour components are carried alongside the ratios so
+    per-site numbers sum exactly to fleet numbers.
+    """
+
+    total_gpu_hours: float
+    healthy_gpu_hours: float
+    served_gpu_hours: float
+    productive_gpu_hours: float
+    availability: float
+    efficiency: float
+    productive_share: float
+    goodput: float
+
+    @staticmethod
+    def from_gpu_hours(
+        total: float, healthy: float, served: float, productive: float
+    ) -> "GoodputMetrics":
+        """Build the decomposition from its four GPU-hour components."""
+        return GoodputMetrics(
+            total_gpu_hours=total,
+            healthy_gpu_hours=healthy,
+            served_gpu_hours=served,
+            productive_gpu_hours=productive,
+            availability=healthy / total if total > 0 else 0.0,
+            efficiency=served / healthy if healthy > 0 else 0.0,
+            productive_share=productive / served if served > 0 else 0.0,
+            goodput=productive / total if total > 0 else 0.0,
+        )
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "goodput": self.goodput,
+            "availability": self.availability,
+            "efficiency": self.efficiency,
+            "productive_share": self.productive_share,
+            "productive_gpu_h": self.productive_gpu_hours,
+        }
+
+
+def productive_gpu_seconds(jobs: Iterable[Job]) -> float:
+    """Retained-progress GPU-seconds across a job population.
+
+    Work counts as productive only if it was *kept*: completed jobs and
+    still-live jobs contribute their accrued productive integral; failed
+    and killed jobs contribute nothing (their progress died with them —
+    migration shells are re-credited by the federation layer, which knows
+    the checkpoint survived).  Serving replicas are productive for their
+    whole allocation: their output is served requests, not checkpoints.
+    """
+    total = 0.0
+    for job in jobs:
+        if job.service_id is not None:
+            total += job.gpu_seconds_used
+        elif job.state is JobState.COMPLETED or not job.state.terminal:
+            total += job.productive_gpu_seconds
+    return total
+
+
+@dataclass(frozen=True)
 class SimMetrics:
     """Final aggregates of one simulation run."""
 
@@ -158,6 +292,11 @@ class SimMetrics:
     #: Inference-serving aggregates; ``None`` for training-only runs, so
     #: their summaries (and the golden tests pinning them) are unchanged.
     serving: ServingMetrics | None = None
+    #: Goodput decomposition (availability × efficiency × productive work).
+    #: Deliberately excluded from :meth:`as_row` so existing golden
+    #: summaries stay byte-identical; the ops report and the federation
+    #: layer surface it.
+    goodput: GoodputMetrics | None = None
 
     def as_row(self) -> dict[str, float]:
         """Flat row for the T2 scheduler-comparison table."""
@@ -223,6 +362,13 @@ def summarize(
     submits = [j.submit_time for j in population]
     makespan = (max(ends) - min(submits)) if ends and submits else 0.0
 
+    goodput = GoodputMetrics.from_gpu_hours(
+        total=collector.total_gpus * now / 3600.0,
+        healthy=collector.healthy_gpu_seconds(now) / 3600.0,
+        served=collector.served_gpu_seconds(now) / 3600.0,
+        productive=productive_gpu_seconds(jobs.values()) / 3600.0,
+    )
+
     return SimMetrics(
         jobs_total=len(population),
         jobs_completed=len(completed),
@@ -252,4 +398,5 @@ def summarize(
         gpu_hours_by_lab=dict(sorted(gpu_hours_by_lab.items())),
         scheduler_passes=collector.scheduler_passes,
         serving=serving,
+        goodput=goodput,
     )

@@ -281,6 +281,7 @@ class ClusterSimulator:
         self.engine.run(until=until, max_events=self.config.max_events)
         now = self.engine.now
         self.metrics.on_used_changed(now, self.cluster.used_gpus)
+        self.metrics.on_healthy_changed(now, self.cluster.healthy_gpus)
         # Event-queue telemetry lives on the engine; fold it into the run's
         # counters so benchmarks and run reports see one flat struct.
         self.perf.events_enqueued = self.engine.events_enqueued
@@ -468,6 +469,14 @@ class ClusterSimulator:
 
     def _work_remains(self) -> bool:
         return self.controller.work_remains()
+
+    def statically_feasible(self, job: Job) -> bool:
+        """Public static-feasibility probe (memoized; used by routers).
+
+        True iff the request could ever be satisfied on this cluster when
+        empty and healthy — the same verdict arrival admission applies.
+        """
+        return self._statically_feasible(job)
 
     def _statically_feasible(self, job: Job) -> bool:
         """Could this request EVER be satisfied on an empty, healthy cluster?

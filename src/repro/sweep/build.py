@@ -16,7 +16,12 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from ..cluster.cluster import Cluster, build_tacc_cluster, uniform_cluster
+from ..cluster.cluster import (
+    Cluster,
+    build_tacc_cluster,
+    heterogeneous_cluster,
+    uniform_cluster,
+)
 from ..errors import ConfigError
 from ..execlayer.speedup import ExecutionModel
 from ..execlayer.storage import SharedFilesystem, StorageConfig
@@ -63,6 +68,8 @@ def build_trace(spec: TraceSpec) -> Trace:
 def build_cluster(spec: ClusterSpec) -> Cluster:
     if spec.kind == "uniform":
         return uniform_cluster(spec.nodes, gpus_per_node=spec.gpus_per_node)
+    if spec.kind == "het":
+        return heterogeneous_cluster(spec.nodes, gpus_per_node=spec.gpus_per_node)
     return build_tacc_cluster()
 
 
@@ -130,6 +137,9 @@ def run_cell(
             # set before the simulator exists (F11 gang time-slicing).
             job.preemptible = True  # simlint: disable=R3  (pre-sim trace setup)
 
+    if cell.federation is not None:
+        return _run_federated_cell(cell, trace)
+
     scheduler, placement = build_scheduler(cell.scheduler)
     cluster = build_cluster(cell.cluster)
     exec_model = ExecutionModel(**cell.exec_model)
@@ -185,6 +195,60 @@ def run_cell(
         end_time=result.end_time,
         events_processed=result.events_processed,
         perf=result.perf.as_dict(),
+        trace_jobs=len(trace),
+        wall_s=wall_s,
+        extras=extras,
+    )
+
+
+def _run_federated_cell(cell: SimCell, trace: Trace) -> CellResult:
+    """Run a federated cell: route the trace across the spec's sites.
+
+    The federation layer is imported lazily so single-cluster sweeps never
+    pay for (or cyclically import) the multi-site machinery.
+    """
+    from ..federation.build import build_federation
+
+    assert cell.federation is not None
+    if cell.probes:
+        raise ConfigError("probes are not supported in federated cells yet")
+    federation = build_federation(
+        cell.federation, trace, default_scheduler=cell.scheduler, sim=cell.sim
+    )
+    started = time.perf_counter()  # simlint: disable=R2  (perf measurement)
+    result = federation.run()
+    wall_s = time.perf_counter() - started  # simlint: disable=R2  (perf measurement)
+
+    site_rows: dict[str, dict[str, float]] = {}
+    for site in result.sites:
+        row = site.result.summary()
+        goodput = site.metrics.goodput
+        if goodput is not None:
+            row.update(goodput.as_row())
+        site_rows[site.name] = row
+
+    # Fleet perf: per-site counters summed.  Counts add exactly; derived
+    # ratios (hit rates, per-attempt averages) become crude fleet-level
+    # sums — observational only, never fed back into the simulation.
+    fleet_perf: dict[str, float] = {}
+    for site in result.sites:
+        for key, value in site.result.perf.as_dict().items():
+            fleet_perf[key] = fleet_perf.get(key, 0.0) + value
+
+    extras: dict[str, Any] = {
+        "migrations": len(result.migrations),
+        "migrated_shell_gpu_hours": result.migrated_shell_gpu_hours,
+        "routed": dict(result.routed),
+        "sites": site_rows,
+    }
+    return CellResult(
+        jobs=dict(result.jobs),
+        metrics=result.metrics,
+        samples=[],
+        summary=result.summary(),
+        end_time=result.end_time,
+        events_processed=sum(s.result.events_processed for s in result.sites),
+        perf=fleet_perf,
         trace_jobs=len(trace),
         wall_s=wall_s,
         extras=extras,

@@ -18,14 +18,18 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..errors import ConfigError
 
+if TYPE_CHECKING:
+    from ..federation.spec import FederationSpec
+
 #: Bumped whenever the cell-result wire/cache format changes shape, so
 #: stale cache entries from older layouts can never be deserialised into
-#: the new one.
-CELL_FORMAT_VERSION = 1
+#: the new one.  v2: cells gained the ``federation`` field (multi-site
+#: runs) and clusters the ``het`` kind.
+CELL_FORMAT_VERSION = 2
 
 
 def _jsonable(value: Any) -> Any:
@@ -91,21 +95,23 @@ class SchedulerSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Which cluster to build: the campus preset or a uniform grid."""
+    """Which cluster to build: the campus preset, a uniform grid, or the
+    heterogeneous fleet mix (``het`` — mixed A100/V100/RTX3090 racks, the
+    standard hardware profile for federation sites)."""
 
-    kind: str = "tacc"  # "tacc" | "uniform"
+    kind: str = "tacc"  # "tacc" | "uniform" | "het"
     nodes: int = 0
     gpus_per_node: int = 8
 
     def __post_init__(self) -> None:
-        if self.kind not in ("tacc", "uniform"):
+        if self.kind not in ("tacc", "uniform", "het"):
             raise ConfigError(f"unknown cluster kind {self.kind!r}")
-        if self.kind == "uniform" and self.nodes <= 0:
-            raise ConfigError("uniform cluster needs a positive node count")
+        if self.kind in ("uniform", "het") and self.nodes <= 0:
+            raise ConfigError(f"{self.kind} cluster needs a positive node count")
 
     @property
     def total_gpus(self) -> int:
-        if self.kind == "uniform":
+        if self.kind in ("uniform", "het"):
             return self.nodes * self.gpus_per_node
         return 176  # the campus cluster's fixed inventory
 
@@ -134,6 +140,11 @@ class SimCell:
         failures: :class:`FailureConfig` kwargs (``None`` = no injection).
         storage: :class:`StorageConfig` kwargs (``None`` = no staging model).
         serving: Co-located serving fleet (``None`` = training only).
+        federation: Multi-site federation recipe (``None`` = single
+            cluster).  When set, the worker routes the trace across the
+            federation's sites instead of the cell's own cluster; the
+            cell's ``scheduler`` becomes the default for sites that do
+            not declare their own.
         preemptible_override: Mark every trace job preemptible before the
             run (gang time-slicing consent; applied to the rehydrated
             copy, never the memoised trace).
@@ -149,6 +160,7 @@ class SimCell:
     failures: dict[str, Any] | None = None
     storage: dict[str, Any] | None = None
     serving: ServingSpec | None = None
+    federation: "FederationSpec | None" = None
     preemptible_override: bool = False
     probes: tuple[str, ...] = ()
 

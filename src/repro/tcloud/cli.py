@@ -15,6 +15,8 @@ Subcommands mirror the real tool's workflow against a simulated cluster:
 * ``tcloud experiment [ids…|--all]`` — regenerate study tables/figures
   (same flags and exit codes as ``python -m repro.experiments``,
   including the sweep engine's ``--jobs``/``--cache-dir``/``--no-cache``)
+* ``tcloud fed [--sites N] [--policy P]`` — run a federated multi-site
+  simulation and print the fleet/per-site goodput report
 * ``tcloud demo`` — a scripted multi-job session exercising monitoring,
   preemption and log aggregation
 
@@ -140,6 +142,50 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return experiments_main(list(args.experiment_args))
 
 
+#: Site sizes (nodes of 8 GPUs) cycled by ``tcloud fed --sites N`` — a
+#: deliberately lopsided fleet so routing has real work to do.
+_FED_SITE_NODES = (12, 8, 5, 10, 7, 6)
+
+
+def cmd_fed(args: argparse.Namespace) -> int:
+    from ..federation import FederationSpec, SiteSpec, build_federation
+    from ..ops.dashboard import federation_report
+    from ..sweep.build import build_trace
+    from ..sweep.spec import ClusterSpec, SchedulerSpec, TraceSpec
+
+    num_sites = int(args.sites)
+    if num_sites < 1:
+        _print("tcloud fed: --sites must be >= 1")
+        return 2
+    node_counts = [_FED_SITE_NODES[i % len(_FED_SITE_NODES)] for i in range(num_sites)]
+    fleet_gpus = sum(count * 8 for count in node_counts)
+    trace = build_trace(
+        TraceSpec(
+            days=float(args.days),
+            synth_seed=int(args.seed),
+            load=float(args.load),
+            load_gpus=fleet_gpus,
+        )
+    )
+    spec = FederationSpec(
+        sites=tuple(
+            SiteSpec(
+                name=f"site-{chr(ord('a') + index)}",
+                cluster=ClusterSpec(kind="het", nodes=count),
+                seed=index,
+            )
+            for index, count in enumerate(node_counts)
+        ),
+        policy=args.policy,
+    )
+    federation = build_federation(
+        spec, trace, default_scheduler=SchedulerSpec("backfill-easy")
+    )
+    result = federation.run()
+    _print(federation_report(result).rstrip())
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     client = TcloudClient(_config(args))
     _print("# tcloud demo: three jobs on the simulated campus cluster")
@@ -240,6 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="IDs and flags forwarded to the experiment runner (see its --help)",
     )
     p_experiment.set_defaults(func=cmd_experiment)
+
+    p_fed = sub.add_parser(
+        "fed", help="run a federated multi-site simulation and report fleet goodput"
+    )
+    p_fed.add_argument("--sites", default=3, help="number of federated sites")
+    p_fed.add_argument(
+        "--policy",
+        default="least-queued",
+        help="routing policy (home | first-feasible | least-queued | most-free | goodput-aware)",
+    )
+    p_fed.add_argument("--days", default=3.0, help="trace horizon in days")
+    p_fed.add_argument("--load", default=0.85, help="offered load vs fleet capacity")
+    p_fed.add_argument("--seed", default=42, help="trace synthesis seed")
+    p_fed.set_defaults(func=cmd_fed)
 
     p_demo = sub.add_parser("demo", help="run a scripted demo session")
     p_demo.set_defaults(func=cmd_demo)

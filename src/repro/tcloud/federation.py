@@ -97,12 +97,19 @@ class FederatedClient:
                 f"task {spec.name!r} is infeasible on every federated cluster "
                 f"({sorted(self.clients)})"
             )
+        # Ties break by profile order (the order clients were declared),
+        # never by name sort — so routing is deterministic and matches the
+        # "first feasible" intuition across all policies.
+        order = {name: index for index, name in enumerate(self.clients)}
         if self.policy == "first-feasible":
             chosen, reason = feasible[0], "first feasible in profile order"
         elif self.policy == "most-free":
-            chosen = max(
+            chosen = min(
                 feasible,
-                key=lambda name: (self.clients[name].frontend.cluster.free_gpus, name),
+                key=lambda name: (
+                    -self.clients[name].frontend.cluster.free_gpus,
+                    order[name],
+                ),
             )
             free = self.clients[chosen].frontend.cluster.free_gpus
             reason = f"most free GPUs ({free})"
@@ -111,7 +118,7 @@ class FederatedClient:
                 frontend = self.clients[name].frontend
                 return frontend.scheduler.queue_depth / max(1, frontend.cluster.total_gpus)
 
-            chosen = min(feasible, key=lambda name: (pressure(name), name))
+            chosen = min(feasible, key=lambda name: (pressure(name), order[name]))
             reason = f"lowest queue pressure ({pressure(chosen):.3f} jobs/GPU)"
         return RoutingDecision(
             profile=chosen,

@@ -1,0 +1,338 @@
+"""Columnar job trace: ``Job`` objects materialized lazily from arrays.
+
+Fleet-scale synthesis (:mod:`repro.workload.fleet`) produces every job
+field as a vectorized column in seconds, but turning a million rows of
+columns into a million :class:`~repro.workload.job.Job` objects is a pure
+Python loop that dominates trace-build time (~47 s at 1M jobs).  Most
+consumers of a freshly synthesized trace never need the objects at all:
+trace statistics, sweep-engine row shipping, and result-cache keys all
+work from the *static* columns.
+
+:class:`ColumnarTrace` keeps the columns and defers object construction
+until something actually asks for ``.jobs`` (the simulator does; summary
+statistics and ``frozen_rows`` don't).  The materialized objects are
+byte-for-byte the ones the eager path builds — both run the same
+:func:`materialize_jobs` loop — so a lazy trace is a drop-in
+:class:`~repro.workload.trace.Trace`.
+
+Columns are pre-sorted by ``(submit_time, job_id)`` by construction (ids
+are assigned in submit order), so the dataclass ``__post_init__``
+sort/duplicate validation is safely skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+from .job import FailureCategory, FailurePlan, Job, JobTier, ResourceRequest
+from .trace import Trace
+
+#: The column names a :class:`ColumnarTrace` carries (all plain Python
+#: lists of scalars, already in canonical submit order).
+COLUMN_NAMES = (
+    "submit",
+    "interactive",
+    "num_gpus",
+    "duration",
+    "guaranteed",
+    "walltime",
+    "gpu_type",
+    "cpus",
+    "memory",
+    "fails",
+    "user_error",
+    "early_fraction",
+    "oom_fraction",
+    "elastic",
+    "dataset_gb",
+    "user_index",
+    "lab",
+)
+
+
+def materialize_jobs(
+    columns: dict[str, list],
+    lab_ids: list[str],
+    user_ids: list[list[str]],
+    gpus_per_node_cap: int,
+) -> list[Job]:
+    """Build the ``Job`` objects a column set describes (the hot loop).
+
+    Shared by the eager fleet path and :class:`ColumnarTrace` so both
+    produce identical objects.  Identical request shapes share one frozen
+    :class:`~repro.workload.job.ResourceRequest` instance.
+    """
+    submit_col = columns["submit"]
+    interactive_col = columns["interactive"]
+    num_gpus_col = columns["num_gpus"]
+    duration_col = columns["duration"]
+    guaranteed_col = columns["guaranteed"]
+    walltime_col = columns["walltime"]
+    gpu_type_col = columns["gpu_type"]
+    cpus_col = columns["cpus"]
+    memory_col = columns["memory"]
+    fails_col = columns["fails"]
+    user_error_col = columns["user_error"]
+    early_col = columns["early_fraction"]
+    oom_col = columns["oom_fraction"]
+    elastic_col = columns["elastic"]
+    dataset_col = columns["dataset_gb"]
+    user_index_col = columns["user_index"]
+    lab_col = columns["lab"]
+
+    request_cache: dict[tuple[int, int | None, str | None, int, float], ResourceRequest] = {}
+    cap = gpus_per_node_cap
+    guaranteed_tier = JobTier.GUARANTEED
+    opportunistic_tier = JobTier.OPPORTUNISTIC
+    user_error_cat = FailureCategory.USER_ERROR
+    oom_cat = FailureCategory.OOM
+    jobs: list[Job] = []
+    append = jobs.append
+    for index in range(len(submit_col)):
+        num_gpus = num_gpus_col[index]
+        interactive = interactive_col[index]
+        request_key = (
+            num_gpus,
+            min(num_gpus, cap) if num_gpus > cap else None,
+            gpu_type_col[index] or None,
+            cpus_col[index],
+            memory_col[index],
+        )
+        request = request_cache.get(request_key)
+        if request is None:
+            request = ResourceRequest(
+                num_gpus=request_key[0],
+                gpus_per_node=request_key[1],
+                gpu_type=request_key[2],
+                cpus_per_gpu=request_key[3],
+                memory_gb_per_gpu=request_key[4],
+            )
+            request_cache[request_key] = request
+
+        failure_plan = None
+        if fails_col[index]:
+            if user_error_col[index]:
+                failure_plan = FailurePlan(user_error_cat, early_col[index] or 0.01)
+            else:
+                failure_plan = FailurePlan(oom_cat, oom_col[index])
+
+        elastic_min = None
+        preemptible = None
+        if elastic_col[index]:
+            elastic_min = max(1, num_gpus // 4)
+            preemptible = True
+
+        lab_index = lab_col[index]
+        append(
+            Job(
+                job_id=f"job-{index:08d}",
+                user_id=user_ids[lab_index][user_index_col[index]],
+                lab_id=lab_ids[lab_index],
+                request=request,
+                submit_time=submit_col[index],
+                duration=duration_col[index],
+                tier=guaranteed_tier if guaranteed_col[index] else opportunistic_tier,
+                walltime_estimate=walltime_col[index],
+                interactive=interactive,
+                preemptible=preemptible,
+                failure_plan=failure_plan,
+                elastic_min_gpus=elastic_min,
+                dataset_gb=dataset_col[index],
+                name=f"{'notebook' if interactive else 'train'}-{index}",
+            )
+        )
+    return jobs
+
+
+class ColumnarTrace(Trace):
+    """A :class:`Trace` backed by columns, materializing jobs on demand.
+
+    ``len()``, summary statistics, and :meth:`frozen_rows` run straight
+    off the columns without constructing a single ``Job``; the first
+    access to ``.jobs`` (or iteration/indexing) materializes the whole
+    object list once and memoizes it.  Mutate static job fields (e.g.
+    ``assign_models``) only *after* materialization — once materialized,
+    :meth:`frozen_rows` snapshots the objects, exactly like an eager
+    trace.
+    """
+
+    def __init__(
+        self,
+        columns: dict[str, list],
+        *,
+        name: str,
+        metadata: dict[str, object] | None = None,
+        lab_ids: list[str],
+        user_ids: list[list[str]],
+        gpus_per_node_cap: int,
+    ) -> None:
+        # Deliberately NOT calling the dataclass __init__/__post_init__:
+        # columns are pre-sorted with unique ids by construction, and
+        # `jobs` is the lazy property below.
+        missing = [key for key in COLUMN_NAMES if key not in columns]
+        if missing:
+            raise TraceError(f"columnar trace is missing columns: {missing}")
+        lengths = {key: len(columns[key]) for key in COLUMN_NAMES}
+        if len(set(lengths.values())) > 1:
+            raise TraceError(f"columnar trace has ragged columns: {lengths}")
+        self.name = name
+        self.metadata = dict(metadata or {})
+        self._rows = None
+        self._columns = columns
+        self._lab_ids = lab_ids
+        self._user_ids = user_ids
+        self._cap = gpus_per_node_cap
+        self._length = lengths["submit"]
+        self._materialized: list[Job] | None = None
+
+    # -- lazy materialization -------------------------------------------------
+
+    @property
+    def jobs(self) -> list[Job]:  # type: ignore[override]
+        if self._materialized is None:
+            self._materialized = materialize_jobs(
+                self._columns, self._lab_ids, self._user_ids, self._cap
+            )
+        return self._materialized
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the ``Job`` objects have been built yet (observability)."""
+        return self._materialized is not None
+
+    # -- cheap overrides off the columns --------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self.jobs[index]
+
+    @property
+    def span_seconds(self) -> float:
+        if self._length < 2:
+            return 0.0
+        submit = self._columns["submit"]
+        return float(submit[-1]) - float(submit[0])
+
+    @property
+    def total_gpu_seconds_requested(self) -> float:
+        # Sequential sum, not a numpy dot product: pairwise summation
+        # changes the low bits, and this figure must match the eager
+        # trace's bit-for-bit.
+        return sum(
+            duration * gpus
+            for duration, gpus in zip(self._columns["duration"], self._columns["num_gpus"])
+        )
+
+    def durations(self) -> np.ndarray:
+        return np.asarray(self._columns["duration"], dtype=float)
+
+    def users(self) -> tuple[str, ...]:
+        pairs = {
+            (lab, user)
+            for lab, user in zip(self._columns["lab"], self._columns["user_index"])
+        }
+        return tuple(sorted(self._user_ids[lab][user] for lab, user in pairs))
+
+    def labs(self) -> tuple[str, ...]:
+        return tuple(sorted(self._lab_ids[lab] for lab in set(self._columns["lab"])))
+
+    def gpu_demand_histogram(self) -> dict[int, int]:
+        values, counts = np.unique(
+            np.asarray(self._columns["num_gpus"], dtype=np.int64), return_counts=True
+        )
+        return {int(value): int(count) for value, count in zip(values, counts)}
+
+    def gpu_hours_by_demand(self) -> dict[int, float]:
+        # Sequential accumulation in trace order, mirroring the parent —
+        # a vectorized per-bucket sum would differ in the low float bits.
+        hours: dict[int, float] = {}
+        for duration, gpus in zip(self._columns["duration"], self._columns["num_gpus"]):
+            hours[gpus] = hours.get(gpus, 0.0) + duration * gpus / 3600.0
+        return dict(sorted(hours.items()))
+
+    def submissions_per_hour(self) -> dict[int, int]:
+        hour = (np.asarray(self._columns["submit"], dtype=float) // 3600).astype(np.int64)
+        values, counts = np.unique(hour, return_counts=True)
+        return {int(value): int(count) for value, count in zip(values, counts)}
+
+    def summary(self) -> dict[str, float]:
+        if not self._length:
+            return {"jobs": 0.0}
+        durations = self.durations()
+        demands = np.asarray(self._columns["num_gpus"], dtype=float)
+        return {
+            "jobs": float(self._length),
+            "users": float(len(self.users())),
+            "labs": float(len(self.labs())),
+            "span_days": self.span_seconds / 86400.0,
+            "gpu_hours": self.total_gpu_seconds_requested / 3600.0,
+            "duration_p50_min": float(np.percentile(durations, 50)) / 60.0,
+            "duration_p99_hours": float(np.percentile(durations, 99)) / 3600.0,
+            "mean_gpus": float(demands.mean()),
+            "single_gpu_fraction": float((demands == 1).mean()),
+        }
+
+    # -- serialisation --------------------------------------------------------
+
+    def frozen_rows(self) -> tuple[dict[str, object], ...]:
+        """Serialisation rows, straight from the columns when still lazy.
+
+        Once the objects have been materialized (and possibly mutated by
+        e.g. ``assign_models``), rows are snapshotted from the objects via
+        the parent implementation instead, so mutations are captured.
+        """
+        if self._materialized is not None:
+            return super().frozen_rows()
+        if self._rows is None:
+            self._rows = tuple(self._row_at(index) for index in range(self._length))
+        return self._rows
+
+    def _row_at(self, index: int) -> dict[str, object]:
+        cols = self._columns
+        num_gpus = cols["num_gpus"][index]
+        interactive = cols["interactive"][index]
+        cap = self._cap
+        failure_category = ""
+        failure_at_fraction: object = ""
+        if cols["fails"][index]:
+            if cols["user_error"][index]:
+                failure_category = FailureCategory.USER_ERROR.value
+                failure_at_fraction = cols["early_fraction"][index] or 0.01
+            else:
+                failure_category = FailureCategory.OOM.value
+                failure_at_fraction = cols["oom_fraction"][index]
+        lab = cols["lab"][index]
+        return {
+            "job_id": f"job-{index:08d}",
+            "user_id": self._user_ids[lab][cols["user_index"][index]],
+            "lab_id": self._lab_ids[lab],
+            "submit_time": cols["submit"][index],
+            "duration": cols["duration"][index],
+            "num_gpus": num_gpus,
+            "gpus_per_node": min(num_gpus, cap) if num_gpus > cap else "",
+            "gpu_type": cols["gpu_type"][index] or "",
+            "cpus_per_gpu": cols["cpus"][index],
+            "memory_gb_per_gpu": cols["memory"][index],
+            "tier": (
+                JobTier.GUARANTEED.value
+                if cols["guaranteed"][index]
+                else JobTier.OPPORTUNISTIC.value
+            ),
+            "partition": "",
+            "walltime_estimate": cols["walltime"][index],
+            "interactive": int(interactive),
+            "failure_category": failure_category,
+            "failure_at_fraction": failure_at_fraction,
+            "elastic_min": max(1, num_gpus // 4) if cols["elastic"][index] else "",
+            "dataset_gb": cols["dataset_gb"][index],
+            "model": "",
+            "name": f"{'notebook' if interactive else 'train'}-{index}",
+        }

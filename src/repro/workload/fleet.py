@@ -33,7 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
-from .job import FailureCategory, FailurePlan, Job, JobTier, ResourceRequest
+from .columnar import COLUMN_NAMES, ColumnarTrace, materialize_jobs
 from .synth import SyntheticTraceConfig
 from .trace import Trace
 
@@ -179,7 +179,15 @@ class FleetTraceSynthesizer:
 
     # -- generation ----------------------------------------------------------
 
-    def generate(self) -> Trace:
+    def generate(self, lazy: bool = False) -> Trace:
+        """Synthesize the trace; ``lazy=True`` defers Job construction.
+
+        The lazy path returns a :class:`~repro.workload.columnar.ColumnarTrace`
+        whose statistics and serialisation rows come straight from the
+        columns; ``Job`` objects are built (by the exact same loop) only
+        when something iterates or indexes the trace.  The eager default
+        keeps the fleet golden tests byte-identical.
+        """
         cfg = self.config
         base_rates = _hourly_rates(cfg)
         shares = self._lab_shares()
@@ -204,26 +212,9 @@ class FleetTraceSynthesizer:
         order = np.lexsort((merged["position"], merged["lab"], merged["submit"]))
 
         # ``tolist()`` converts each column to native Python scalars in one
-        # C pass; the construction loop below then touches no numpy objects.
-        # Columns are hoisted into locals — at a million iterations the
-        # repeated dict lookups alone are seconds of overhead.
-        submit_col = merged["submit"][order].tolist()
-        interactive_col = merged["interactive"][order].tolist()
-        num_gpus_col = merged["num_gpus"][order].tolist()
-        duration_col = merged["duration"][order].tolist()
-        guaranteed_col = merged["guaranteed"][order].tolist()
-        walltime_col = merged["walltime"][order].tolist()
-        gpu_type_col = merged["gpu_type"][order].tolist()
-        cpus_col = merged["cpus"][order].tolist()
-        memory_col = merged["memory"][order].tolist()
-        fails_col = merged["fails"][order].tolist()
-        user_error_col = merged["user_error"][order].tolist()
-        early_col = merged["early_fraction"][order].tolist()
-        oom_col = merged["oom_fraction"][order].tolist()
-        elastic_col = merged["elastic"][order].tolist()
-        dataset_col = merged["dataset_gb"][order].tolist()
-        user_index_col = merged["user_index"][order].tolist()
-        lab_col = merged["lab"][order].tolist()
+        # C pass; the construction loop (materialize_jobs) then touches no
+        # numpy objects.
+        cols = {key: merged[key][order].tolist() for key in COLUMN_NAMES}
 
         lab_ids = [f"lab-{lab:02d}" for lab in range(cfg.num_labs)]
         roster = len(self._user_weights())
@@ -231,78 +222,25 @@ class FleetTraceSynthesizer:
             [f"user-{lab:02d}-{user:02d}" for user in range(roster)]
             for lab in range(cfg.num_labs)
         ]
-        request_cache: dict[tuple[int, int | None, str | None, int, float], ResourceRequest] = {}
-        cap = cfg.gpus_per_node_cap
-        guaranteed_tier = JobTier.GUARANTEED
-        opportunistic_tier = JobTier.OPPORTUNISTIC
-        user_error_cat = FailureCategory.USER_ERROR
-        oom_cat = FailureCategory.OOM
-        jobs: list[Job] = []
-        append = jobs.append
-        for index in range(len(submit_col)):
-            num_gpus = num_gpus_col[index]
-            interactive = interactive_col[index]
-            request_key = (
-                num_gpus,
-                min(num_gpus, cap) if num_gpus > cap else None,
-                gpu_type_col[index] or None,
-                cpus_col[index],
-                memory_col[index],
-            )
-            request = request_cache.get(request_key)
-            if request is None:
-                request = ResourceRequest(
-                    num_gpus=request_key[0],
-                    gpus_per_node=request_key[1],
-                    gpu_type=request_key[2],
-                    cpus_per_gpu=request_key[3],
-                    memory_gb_per_gpu=request_key[4],
-                )
-                request_cache[request_key] = request
-
-            failure_plan = None
-            if fails_col[index]:
-                if user_error_col[index]:
-                    failure_plan = FailurePlan(
-                        user_error_cat, early_col[index] or 0.01
-                    )
-                else:
-                    failure_plan = FailurePlan(oom_cat, oom_col[index])
-
-            elastic_min = None
-            preemptible = None
-            if elastic_col[index]:
-                elastic_min = max(1, num_gpus // 4)
-                preemptible = True
-
-            lab_index = lab_col[index]
-            append(
-                Job(
-                    job_id=f"job-{index:08d}",
-                    user_id=user_ids[lab_index][user_index_col[index]],
-                    lab_id=lab_ids[lab_index],
-                    request=request,
-                    submit_time=submit_col[index],
-                    duration=duration_col[index],
-                    tier=guaranteed_tier if guaranteed_col[index] else opportunistic_tier,
-                    walltime_estimate=walltime_col[index],
-                    interactive=interactive,
-                    preemptible=preemptible,
-                    failure_plan=failure_plan,
-                    elastic_min_gpus=elastic_min,
-                    dataset_gb=dataset_col[index],
-                    name=f"{'notebook' if interactive else 'train'}-{index}",
-                )
+        metadata = {"config": cfg.name, "days": cfg.days, "generator": "fleet"}
+        if lazy:
+            return ColumnarTrace(
+                cols,
+                name=f"{cfg.name}-fleet",
+                metadata=metadata,
+                lab_ids=lab_ids,
+                user_ids=user_ids,
+                gpus_per_node_cap=cfg.gpus_per_node_cap,
             )
         return Trace(
-            jobs,
+            materialize_jobs(cols, lab_ids, user_ids, cfg.gpus_per_node_cap),
             name=f"{cfg.name}-fleet",
-            metadata={"config": cfg.name, "days": cfg.days, "generator": "fleet"},
+            metadata=metadata,
         )
 
 
 def fleet_trace(
-    config: SyntheticTraceConfig, seed: int = 0
+    config: SyntheticTraceConfig, seed: int = 0, lazy: bool = False
 ) -> Trace:
     """One-call vectorized synthesis (see :class:`FleetTraceSynthesizer`)."""
-    return FleetTraceSynthesizer(config, seed=seed).generate()
+    return FleetTraceSynthesizer(config, seed=seed).generate(lazy=lazy)

@@ -20,7 +20,7 @@ Terminal states are COMPLETED, FAILED and KILLED.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import JobStateError, ValidationError
 from ..ids import JobId, LabId, UserId
@@ -174,6 +174,13 @@ class Job:
     current_gpus: int = 0  # GPUs of the live attempt (elastic jobs may vary)
     current_setup_s: float = 0.0  # provisioning/staging head of the attempt
     gpu_seconds_used: float = 0.0
+    #: GPU-seconds of *retained* progress: every accrued work segment books
+    #: ``work × num_gpus`` (the ideal cost of the progress made at the full
+    #: request), and re-done work (checkpoint loss, restore) is subtracted
+    #: when it is scheduled for redoing.  The gap to ``gpu_seconds_used``
+    #: is setup, slowdown, discarded attempts, and restore/warmup — the
+    #: non-productive component of the goodput decomposition.
+    productive_gpu_seconds: float = 0.0
     failure_category: FailureCategory | None = None
 
     def __post_init__(self) -> None:
@@ -319,6 +326,7 @@ class Job:
         work = min(self.remaining_work, productive / self.current_slowdown)
         self.remaining_work -= work
         self.gpu_seconds_used += max(0.0, elapsed) * (self.current_gpus or self.num_gpus)
+        self.productive_gpu_seconds += work * self.num_gpus
 
     def preempt(self, now: float, checkpoint_loss: float = 0.0) -> None:
         """RUNNING → QUEUED, checkpointing progress.
@@ -328,7 +336,15 @@ class Job:
         """
         self._require_state(JobState.RUNNING, "preempt")
         self._accrue(now)
+        before = self.remaining_work
         self.remaining_work = min(self.duration, self.remaining_work + checkpoint_loss)
+        redone = self.remaining_work - before
+        # No clamp at zero: migration clones start with a restore-work debt
+        # (see checkpoint_clone), and an early preemption may briefly push
+        # the integral negative before the redo is re-accrued.  For ordinary
+        # jobs ``redone <= work_done`` always holds (the duration clamp), so
+        # the value stays non-negative.
+        self.productive_gpu_seconds -= redone * self.num_gpus
         self.preemptions += 1
         self.state = JobState.QUEUED
         self.current_nodes = ()
@@ -394,3 +410,58 @@ class Job:
         self.end_time = now
         self.current_nodes = ()
         self.current_gpus = 0
+
+    def checkpoint_clone(
+        self,
+        *,
+        submit_time: float,
+        restore_s: float = 0.0,
+        job_id: JobId | None = None,
+    ) -> Job:
+        """A fresh QUEUED copy of this job resuming from its checkpoint.
+
+        Used by cross-cluster migration: the source incarnation is killed
+        and this clone is submitted to the target cluster at
+        ``submit_time`` (source time + modelled transfer delay).  The
+        clone carries the checkpointed ``remaining_work`` plus
+        ``restore_s`` seconds of work re-done when resuming from the
+        checkpoint; the redo is booked as a *debt* on the clone's
+        productive integral, so restore time is exactly non-productive in
+        the goodput decomposition once re-accrued.  ``job_id`` renames the
+        incarnation (ids must stay unique if the job ever returns to a
+        cluster it already visited).  Attempt counters and GPU-second
+        accounting restart at zero — they are per-cluster; the federation
+        layer stitches the incarnations back together.
+        """
+        clone = Job(
+            job_id=self.job_id if job_id is None else job_id,
+            user_id=self.user_id,
+            lab_id=self.lab_id,
+            # Node pins (partition routing) are per-cluster state, not part
+            # of the user's request — the target cluster re-routes freely.
+            request=replace(self.request, allowed_nodes=None)
+            if self.request.allowed_nodes is not None
+            else self.request,
+            submit_time=submit_time,
+            duration=self.duration,
+            tier=self.tier,
+            partition=None,  # partitions are per-cluster; the router re-admits
+            walltime_estimate=self.walltime_estimate,
+            interactive=self.interactive,
+            preemptible=self.preemptible,
+            failure_plan=self.failure_plan,
+            name=self.name,
+            model_name=self.model_name,
+            elastic_min_gpus=self.elastic_min_gpus,
+            dataset_gb=self.dataset_gb,
+            service_id=self.service_id,
+        )
+        if restore_s < 0:
+            raise ValidationError(f"restore_s must be non-negative, got {restore_s}")
+        clone.remaining_work = min(self.duration, self.remaining_work + restore_s)
+        # The restore redo is work the clone will accrue again; starting the
+        # productive integral in debt makes the clone's final figure equal
+        # its *retained* progress exactly (clone work − redo).
+        redone = clone.remaining_work - self.remaining_work
+        clone.productive_gpu_seconds = -redone * clone.num_gpus
+        return clone

@@ -1,0 +1,105 @@
+"""Tests for the columnar lazy fleet trace (satellite of the federation PR).
+
+The contract: ``fleet_trace(..., lazy=True)`` must be observationally
+*bit-identical* to the eager path — every statistic, row dump, and
+materialised job — while deferring Job construction until something
+actually needs job objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.columnar import COLUMN_NAMES, ColumnarTrace
+from repro.workload.fleet import fleet_trace
+from repro.workload.synth import tacc_campus
+
+
+@pytest.fixture(scope="module")
+def config():
+    return tacc_campus(days=2.0, jobs_per_day=400.0, name="columnar-test")
+
+
+@pytest.fixture(scope="module")
+def eager(config):
+    return fleet_trace(config, seed=7)
+
+
+@pytest.fixture(scope="module")
+def lazy(config):
+    return fleet_trace(config, seed=7, lazy=True)
+
+
+class TestLaziness:
+    def test_starts_unmaterialized(self, config):
+        trace = fleet_trace(config, seed=7, lazy=True)
+        assert isinstance(trace, ColumnarTrace)
+        assert not trace.materialized
+
+    def test_column_stats_do_not_materialize(self, config):
+        trace = fleet_trace(config, seed=7, lazy=True)
+        _ = len(trace)
+        _ = trace.span_seconds
+        _ = trace.total_gpu_seconds_requested
+        _ = trace.gpu_hours_by_demand()
+        _ = trace.gpu_demand_histogram()
+        _ = trace.submissions_per_hour()
+        _ = trace.frozen_rows()
+        _ = trace.summary()
+        assert not trace.materialized
+
+    def test_iteration_materializes(self, config):
+        trace = fleet_trace(config, seed=7, lazy=True)
+        jobs = list(trace)
+        assert trace.materialized
+        assert len(jobs) == len(trace)
+
+
+class TestEquivalence:
+    def test_lengths_match(self, eager, lazy):
+        assert len(eager) == len(lazy)
+
+    def test_summary_matches(self, eager, lazy):
+        assert eager.summary() == lazy.summary()
+
+    def test_column_stats_match_bitwise(self, eager, lazy):
+        assert eager.span_seconds == lazy.span_seconds
+        assert eager.total_gpu_seconds_requested == lazy.total_gpu_seconds_requested
+        assert eager.gpu_hours_by_demand() == lazy.gpu_hours_by_demand()
+        assert eager.gpu_demand_histogram() == lazy.gpu_demand_histogram()
+        assert eager.submissions_per_hour() == lazy.submissions_per_hour()
+        assert eager.users() == lazy.users()
+        assert eager.labs() == lazy.labs()
+
+    def test_frozen_rows_match_before_materialization(self, config, eager):
+        fresh = fleet_trace(config, seed=7, lazy=True)
+        assert fresh.frozen_rows() == eager.frozen_rows()
+        assert not fresh.materialized
+
+    def test_frozen_rows_match_after_materialization(self, eager, lazy):
+        list(lazy)
+        assert lazy.frozen_rows() == eager.frozen_rows()
+
+    def test_jobs_identical_field_by_field(self, eager, lazy):
+        for expected, actual in zip(eager, lazy):
+            assert expected.job_id == actual.job_id
+            assert expected.submit_time == actual.submit_time
+            assert expected.duration == actual.duration
+            assert expected.num_gpus == actual.num_gpus
+            assert expected.user_id == actual.user_id
+            assert expected.lab_id == actual.lab_id
+            assert expected.tier == actual.tier
+            assert expected.failure_plan == actual.failure_plan
+            assert expected.elastic_min_gpus == actual.elastic_min_gpus
+
+    def test_getitem_matches(self, eager, lazy):
+        assert eager[0].job_id == lazy[0].job_id
+        assert eager[-1].job_id == lazy[-1].job_id
+
+
+class TestColumns:
+    def test_column_names_complete(self, config):
+        trace = fleet_trace(config, seed=7, lazy=True)
+        assert set(trace._columns) == set(COLUMN_NAMES)
+        lengths = {len(column) for column in trace._columns.values()}
+        assert lengths == {len(trace)}

@@ -91,6 +91,42 @@ class TestRouting:
         assert fed.route(spec()).profile == "site-a"
 
 
+class TestRoutingEdgeCases:
+    def twin_federation(self, policy):
+        """Two byte-identical sites: every score ties, order must decide."""
+        config = TcloudConfig()
+        config.add(ClusterProfile(name="site-a", endpoint="sim://site-a"))
+        config.add(ClusterProfile(name="site-b", endpoint="sim://site-b"))
+        frontends = {
+            "site-a": small_frontend("v100"),
+            "site-b": small_frontend("v100"),
+        }
+        return FederatedClient(config, policy=policy, frontends=frontends)
+
+    @pytest.mark.parametrize("policy", ["least-queued", "most-free", "first-feasible"])
+    def test_ties_break_by_profile_order_deterministically(self, policy):
+        fed = self.twin_federation(policy)
+        decisions = [fed.route(spec()).profile for _ in range(5)]
+        assert decisions == ["site-a"] * 5
+
+    def test_route_does_not_submit(self):
+        fed = federation()
+        before = {name: len(client.queue()) for name, client in fed.clients.items()}
+        fed.route(spec())
+        after = {name: len(client.queue()) for name, client in fed.clients.items()}
+        assert before == after
+
+    def test_repeated_route_is_stable(self):
+        fed = federation()
+        first = fed.route(spec())
+        second = fed.route(spec())
+        assert (first.profile, first.considered, first.excluded) == (
+            second.profile,
+            second.considered,
+            second.excluded,
+        )
+
+
 class TestProxying:
     def test_submit_and_proxy_verbs(self):
         fed = federation()
@@ -103,6 +139,20 @@ class TestProxying:
         assert final.state == "completed"
         logs = fed.logs(federated_id)
         assert logs
+
+    def test_proxying_after_forwarding(self):
+        # Infeasible on site-a (no A100s) → forwarded to site-b; every
+        # proxy verb must resolve through the federated id afterwards.
+        fed = federation()
+        federated_id, decision = fed.submit(
+            spec(gpu_type="a100-80"), duration_hint_s=600.0
+        )
+        assert decision.profile == "site-b"
+        assert fed.status(federated_id).state in ("queued", "running")
+        final = fed.wait(federated_id)
+        assert final.state == "completed"
+        assert fed.logs(federated_id)
+        assert fed.history(federated_id)
 
     def test_kill_proxies(self):
         fed = federation()

@@ -1,0 +1,101 @@
+"""Golden pin of the F-FED federation experiment.
+
+Runs the F-FED cells at reduced scale and pins the fleet goodput of the
+winning and baseline arms to exact values, plus the structural claims the
+experiment exists to demonstrate: every real routing policy beats the
+single-site ``home`` funnel on fleet goodput, all arms complete the same
+work, and the per-site goodput decomposition telescopes into the fleet
+figures with no residue.
+
+As with the other golden suites, float comparisons are exact (or 1e-9):
+drift means a routing/migration decision changed, not a perf detail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import sweep
+from repro.experiments.federation import FED_POLICIES, _federation_cells
+
+SEED = 0
+SCALE = 0.3
+
+# Pinned when the federation subsystem landed (seed 0, scale 0.3).
+GOLDEN_GOODPUT = {
+    "least-queued": 0.3087507894155817,
+    "home": 0.2223491412161448,
+}
+GOLDEN_COMPLETED = 419.0
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return sweep.run_cells(_federation_cells(seed=SEED, scale=SCALE))
+
+
+def test_goodput_matches_golden_exactly(runs):
+    for arm, expected in GOLDEN_GOODPUT.items():
+        assert runs[arm].summary["goodput"] == expected, (
+            f"{arm}: {runs[arm].summary['goodput']!r} != {expected!r}"
+        )
+
+
+def test_every_policy_beats_the_home_funnel(runs):
+    home = runs["home"].summary["goodput"]
+    for policy in FED_POLICIES:
+        assert runs[policy].summary["goodput"] > home, (
+            f"{policy} does not beat home ({runs[policy].summary['goodput']:.4f}"
+            f" <= {home:.4f})"
+        )
+
+
+def test_all_arms_complete_the_same_work(runs):
+    # Routing moves work around; it must not create or destroy it.
+    for arm, result in runs.items():
+        assert result.summary["completed"] == GOLDEN_COMPLETED, arm
+        assert result.summary["productive_gpu_h"] == pytest.approx(
+            runs["home"].summary["productive_gpu_h"], rel=1e-9
+        ), arm
+
+
+def test_home_routes_everything_to_site_a(runs):
+    routed = runs["home"].extras["routed"]
+    assert routed["site-b"] == 0 and routed["site-c"] == 0
+    assert routed["site-a"] > 0
+    assert runs["home"].extras["migrations"] == 0
+
+
+def test_site_decomposition_telescopes_to_fleet(runs):
+    for arm, result in runs.items():
+        sites = result.extras["sites"]
+        site_productive = sum(row["productive_gpu_h"] for row in sites.values())
+        fleet_productive = result.summary["productive_gpu_h"]
+        shell_credit = result.extras["migrated_shell_gpu_hours"]
+        assert site_productive + shell_credit == pytest.approx(
+            fleet_productive, abs=1e-6
+        ), arm
+
+
+def test_goodput_identity_per_arm(runs):
+    for arm, result in runs.items():
+        summary = result.summary
+        assert summary["goodput"] == pytest.approx(
+            summary["availability"]
+            * summary["efficiency"]
+            * summary["productive_share"],
+            abs=1e-12,
+        ), arm
+
+
+def test_rerun_is_byte_identical(runs):
+    import json
+
+    again = sweep.run_cells(_federation_cells(seed=SEED, scale=SCALE))
+    for arm in runs:
+        assert runs[arm].summary == again[arm].summary, arm
+        # Idle sites report NaN latency quantiles and NaN != NaN, so the
+        # dicts are compared through their serialised form.
+        assert json.dumps(runs[arm].extras, sort_keys=True) == json.dumps(
+            again[arm].extras, sort_keys=True
+        ), arm
