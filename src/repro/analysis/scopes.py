@@ -19,6 +19,10 @@ SIMULATION = (
     "repro/execlayer/",
     "repro/sweep/",
     "repro/federation/",
+    # Workflow fingerprints and compile plans feed sweep cache keys, so
+    # schema validation and compilation must be bit-reproducible too.
+    "repro/schema/",
+    "repro/compiler/",
 )
 
 #: Scheduler/placement hot paths where iteration order decides outcomes.

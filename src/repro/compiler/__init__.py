@@ -11,17 +11,29 @@ from .cache import (
 )
 from .compiler import CompileResult, TaskCompiler
 from .instruction import NodeLaunch, TaskInstruction
+from .workflow import (
+    ArtifactHint,
+    StageCompileResult,
+    WorkflowCompiler,
+    WorkflowCompileResult,
+    placement_hint,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_BYTES",
+    "ArtifactHint",
     "ChunkStore",
     "CompileResult",
     "FileManifest",
     "NodeLaunch",
+    "StageCompileResult",
     "TaskCompiler",
     "TaskInstruction",
     "UploadReport",
+    "WorkflowCompileResult",
+    "WorkflowCompiler",
     "WorkspaceManifest",
     "chunk_bytes",
     "chunk_id",
+    "placement_hint",
 ]

@@ -1,0 +1,146 @@
+"""Compiling whole workflows: per-stage instructions plus placement hints.
+
+A workflow compiles to one :class:`~repro.compiler.compiler.CompileResult`
+per stage (in topological order, so upstream instructions exist before
+anything that consumes them) plus :class:`ArtifactHint` records telling the
+scheduler how strongly each inter-stage artifact wants its consumer placed
+near its producer.  The hint is a pure function of the artifact size against
+the leaf–spine fabric's bandwidth tiers: artifacts that would take longer to
+move than a typical stage setup want co-location; small ones can go
+anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import CompileError
+from ..schema.workflow import WorkflowSpec
+from .cache import ChunkStore
+from .compiler import CompileResult, TaskCompiler
+
+#: Artifact sizes above this want the consumer on the producer's node
+#: (moving them even rack-locally dominates stage setup).
+COLOCATE_BYTES = 1 << 30
+#: Artifact sizes above this want the consumer in the producer's rack
+#: (cross-rack oversubscription would hurt; rack-local links absorb it).
+RACK_LOCAL_BYTES = 64 << 20
+
+
+def placement_hint(size_bytes: int) -> str:
+    """Map an artifact size to a placement hint: colocate/rack-local/any."""
+    if size_bytes >= COLOCATE_BYTES:
+        return "colocate"
+    if size_bytes >= RACK_LOCAL_BYTES:
+        return "rack-local"
+    return "any"
+
+
+@dataclass(frozen=True)
+class ArtifactHint:
+    """One consumer edge of one artifact, with its placement preference."""
+
+    artifact: str
+    producer: str
+    consumer: str
+    size_bytes: int
+    placement: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.artifact}: {self.producer} -> {self.consumer} "
+            f"({self.size_bytes} B, {self.placement})"
+        )
+
+
+@dataclass(frozen=True)
+class StageCompileResult:
+    """One stage's compiled instruction plus its dependency context."""
+
+    stage: str
+    depends_on: tuple[str, ...]
+    fetch_bytes: int
+    result: CompileResult
+
+
+@dataclass(frozen=True)
+class WorkflowCompileResult:
+    """Everything the control plane needs to run the workflow."""
+
+    workflow: str
+    fingerprint: str
+    order: tuple[str, ...]
+    stages: tuple[StageCompileResult, ...]
+    hints: tuple[ArtifactHint, ...]
+
+    def stage_result(self, name: str) -> StageCompileResult:
+        for stage in self.stages:
+            if stage.stage == name:
+                return stage
+        raise CompileError(f"workflow {self.workflow!r} has no compiled stage {name!r}")
+
+
+class WorkflowCompiler:
+    """Compiles workflow specs stage-by-stage against one chunk store.
+
+    Sharing the store across stages means common files (the lab's training
+    harness, shared utility modules) upload once for the whole pipeline.
+    """
+
+    def __init__(self, store: ChunkStore | None = None) -> None:
+        self.tasks = TaskCompiler(store)
+
+    @property
+    def store(self) -> ChunkStore:
+        return self.tasks.store
+
+    def compile(
+        self,
+        workflow: WorkflowSpec,
+        workspaces: Mapping[str, Mapping[str, bytes]],
+    ) -> WorkflowCompileResult:
+        """Compile every stage of *workflow*.
+
+        ``workspaces`` maps stage name → workspace (``{path: content}``);
+        stages with no declared code files may omit theirs.
+        """
+        unknown = set(workspaces) - {stage.name for stage in workflow.stages}
+        if unknown:
+            raise CompileError(
+                f"workflow {workflow.name!r}: workspaces for unknown stages "
+                f"{sorted(unknown)}"
+            )
+        order = workflow.topological_order()
+        compiled = []
+        for name in order:
+            stage = workflow.stage(name)
+            workspace = workspaces.get(name, {})
+            compiled.append(
+                StageCompileResult(
+                    stage=name,
+                    depends_on=workflow.dependencies_of(name),
+                    fetch_bytes=workflow.inbound_bytes(name),
+                    result=self.tasks.compile(stage.task, workspace),
+                )
+            )
+        hints = tuple(
+            ArtifactHint(
+                artifact=artifact.name,
+                producer=artifact.producer,
+                consumer=stage.name,
+                size_bytes=artifact.size_bytes,
+                placement=placement_hint(artifact.size_bytes),
+            )
+            for stage in workflow.stages
+            for consumed in stage.consumes
+            for artifact in workflow.artifacts
+            if artifact.name == consumed
+        )
+        return WorkflowCompileResult(
+            workflow=workflow.name,
+            fingerprint=workflow.fingerprint(),
+            order=order,
+            stages=tuple(compiled),
+            hints=hints,
+        )

@@ -24,7 +24,7 @@ authoritative record that it happened.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Iterable, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 from ..cluster.cluster import Cluster
 from ..errors import SchedulingError, SimulationError
@@ -100,6 +100,17 @@ class ClusterController:
         self.wall_used: dict[JobId, float] = {}
         #: Serving fleet capacity hooks, if a fleet is co-located.
         self.serving: ReplicaHost | None = None
+        #: Dependency bookkeeping for workflow stages held in PENDING_DEPS.
+        #: ``waiting_on`` maps a held job to its still-unmet upstream ids;
+        #: ``dependents`` is the reverse index consulted when an upstream
+        #: reaches a terminal state.
+        self.waiting_on: dict[JobId, set[JobId]] = {}
+        self.dependents: dict[JobId, list[JobId]] = {}
+        #: Simulator hook fired when a held job's last upstream finishes;
+        #: the simulator schedules a DependencyRelease event so the release
+        #: is an ordered, visible part of the event stream.  Without a hook
+        #: (unit tests, direct controller use) the release is synchronous.
+        self.on_deps_ready: Callable[[float, JobId], None] | None = None
         self._live_jobs = 0
 
     # -- tracking -----------------------------------------------------------------
@@ -134,6 +145,37 @@ class ClusterController:
         """Reject an arriving job at submission (infeasible / no partition)."""
         job.kill(now)
         self._apply(now, job, LifecycleState.KILLED, Cause.REJECT, Actor.ADMISSION)
+
+    def hold_for_deps(self, now: float, job: Job, unmet: Iterable[JobId]) -> None:
+        """Park an arriving workflow stage until its upstreams finish.
+
+        The job moves PENDING → PENDING_DEPS and is *not* handed to the
+        scheduler — dependency-held jobs are invisible to every scheduling
+        policy by construction, not by filtering.
+        """
+        unmet_set = set(unmet)
+        if not unmet_set:
+            raise SimulationError(f"hold_for_deps({job.job_id}) with no unmet deps")
+        self.waiting_on[job.job_id] = unmet_set
+        for upstream in sorted(unmet_set):
+            self.dependents.setdefault(upstream, []).append(job.job_id)
+        self._apply(
+            now,
+            job,
+            LifecycleState.PENDING_DEPS,
+            Cause.DEPS_HOLD,
+            Actor.ADMISSION,
+            detail=f"deps={len(unmet_set)}",
+        )
+
+    def release_deps(self, now: float, job: Job) -> None:
+        """Admit a held stage whose upstreams have all finished."""
+        self.waiting_on.pop(job.job_id, None)
+        job.deps_released_at = now
+        self._apply(
+            now, job, LifecycleState.ADMITTED, Cause.DEPS_RELEASE, Actor.ADMISSION
+        )
+        self.scheduler.enqueue(job, now)
 
     def restrict_to_partition(self, job: Job, node_ids: Iterable[NodeId]) -> None:
         """Pin an arriving job's placement to its partition's node set.
@@ -405,6 +447,40 @@ class ClusterController:
                 self.metrics.rejected_jobs += 1
             elif transition.cause is Cause.WALLTIME_LIMIT:
                 self.metrics.walltime_kills += 1
+            self.waiting_on.pop(transition.job_id, None)
+            self._on_upstream_terminal(transition)
+
+    def _on_upstream_terminal(self, transition: Transition) -> None:
+        """Resolve held downstreams when one of their upstreams ends.
+
+        A FINISHED upstream satisfies the dependency; any other terminal
+        outcome (failed, killed, walltime) cascades: the downstream stage
+        can never run, so it is killed with ``UPSTREAM_FAILED``, which
+        recursively resolves *its* dependents through this same path.
+        """
+        downstream_ids = self.dependents.pop(transition.job_id, None)
+        if not downstream_ids:
+            return
+        satisfied = transition.target is LifecycleState.FINISHED
+        for job_id in downstream_ids:
+            unmet = self.waiting_on.get(job_id)
+            if unmet is None:
+                continue  # already released or killed
+            if not satisfied:
+                self.kill(
+                    transition.time,
+                    self.jobs[job_id],
+                    cause=Cause.UPSTREAM_FAILED,
+                    actor=Actor.SIMULATOR,
+                    detail=f"upstream={transition.job_id}",
+                )
+                continue
+            unmet.discard(transition.job_id)
+            if not unmet:
+                if self.on_deps_ready is not None:
+                    self.on_deps_ready(transition.time, job_id)
+                else:
+                    self.release_deps(transition.time, self.jobs[job_id])
 
     def _record_infra(self, now: float, kind: str, subject: str) -> None:
         if self.record_timeline:

@@ -8,6 +8,8 @@ Every job in the simulated cluster moves through one explicit lifecycle::
        └──reject/kill──► KILLED ◄──kill──────┘ │ └─node_failure─► RESTARTING
                                                └────preempt────► PREEMPTED
     (PREEMPTED / RESTARTING ──place──► RUNNING again, or terminal)
+    (workflow stages: PENDING ──deps_hold──► PENDING_DEPS, which exits via
+    deps_release──► ADMITTED or upstream_failed/kill──► KILLED / FAILED)
 
 States are *observations* layered over :class:`~repro.workload.job.Job`:
 the five-state ``JobState`` persisted on the job collapses ADMITTED /
@@ -36,6 +38,7 @@ class LifecycleState(enum.Enum):
     """Control-plane view of where a job is in its life."""
 
     PENDING = "pending"  # submitted, arrival not yet processed
+    PENDING_DEPS = "pending_deps"  # workflow stage held on upstream stages
     ADMITTED = "admitted"  # accepted and enqueued with the scheduler
     RUNNING = "running"
     PREEMPTED = "preempted"  # gracefully evicted, back in the queue
@@ -60,6 +63,7 @@ _TERMINAL = frozenset(
 
 _JOB_STATE_OF: dict[LifecycleState, JobState] = {
     LifecycleState.PENDING: JobState.QUEUED,
+    LifecycleState.PENDING_DEPS: JobState.QUEUED,
     LifecycleState.ADMITTED: JobState.QUEUED,
     LifecycleState.RUNNING: JobState.RUNNING,
     LifecycleState.PREEMPTED: JobState.QUEUED,
@@ -82,7 +86,13 @@ LIFECYCLE_OF_JOB_STATE: dict[JobState, LifecycleState] = {
 #: The complete legal-transition relation.  Anything not listed raises.
 LEGAL_TRANSITIONS: dict[LifecycleState, frozenset[LifecycleState]] = {
     LifecycleState.PENDING: frozenset(
-        {LifecycleState.ADMITTED, LifecycleState.KILLED}
+        {LifecycleState.PENDING_DEPS, LifecycleState.ADMITTED, LifecycleState.KILLED}
+    ),
+    # Dependency-held stages are invisible to schedulers: the only ways out
+    # are admission (all upstreams finished) or death (an upstream failed /
+    # user kill) — never directly to RUNNING.
+    LifecycleState.PENDING_DEPS: frozenset(
+        {LifecycleState.ADMITTED, LifecycleState.KILLED, LifecycleState.FAILED}
     ),
     LifecycleState.ADMITTED: frozenset(
         {LifecycleState.RUNNING, LifecycleState.KILLED, LifecycleState.FAILED}
@@ -124,6 +134,9 @@ class Cause(enum.Enum):
     USER_KILL = "user_kill"
     SERVICE_RETIRE = "service_retire"  # serving autoscaler scale-down/horizon
     MIGRATE = "migrate"  # checkpoint-and-migrate to another cluster
+    DEPS_HOLD = "deps_hold"  # workflow stage waiting on upstream stages
+    DEPS_RELEASE = "deps_release"  # last upstream finished; stage admitted
+    UPSTREAM_FAILED = "upstream_failed"  # an upstream stage failed/was killed
 
 
 class Actor(enum.Enum):
@@ -141,6 +154,7 @@ class Actor(enum.Enum):
 #: Timeline event kind emitted when a job *enters* each state (KILLED is
 #: special-cased: entering it from PENDING is a "reject", otherwise "kill").
 _TIMELINE_KIND: dict[LifecycleState, str] = {
+    LifecycleState.PENDING_DEPS: "hold",
     LifecycleState.ADMITTED: "submit",
     LifecycleState.RUNNING: "start",
     LifecycleState.PREEMPTED: "preempt",

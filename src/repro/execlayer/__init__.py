@@ -18,6 +18,7 @@ from .runtime import (
 )
 from .storage import SharedFilesystem, StorageConfig
 from .speedup import REFERENCE_GPU, ExecModelConfig, ExecutionModel, UnitExecutionModel
+from .transfer import artifact_fetch_seconds, transfer_seconds
 
 __all__ = [
     "DEFAULT_RUNTIMES",
@@ -32,10 +33,12 @@ __all__ = [
     "SharedFilesystem",
     "StorageConfig",
     "UnitExecutionModel",
+    "artifact_fetch_seconds",
     "in_network_aggregation_s",
     "parameter_server_s",
     "ring_allreduce_s",
     "shape_from_placement",
     "sync_time_s",
+    "transfer_seconds",
     "tree_allreduce_s",
 ]

@@ -1,0 +1,71 @@
+"""Inter-stage artifact transfer over the leaf–spine fabric.
+
+When a workflow stage starts, the artifacts its upstream stages produced
+must reach the nodes it was placed on.  This module prices that movement
+from the topology's bandwidth tiers: an artifact written on the consumer's
+own node costs nothing (``bandwidth_gbps`` is ``inf`` same-node), one rack
+away it moves at the node uplink rate, and across racks at the
+oversubscribed spine rate.  The *same* pricing is used by the simulator
+(charged as setup head on the consuming attempt) and by the transfer-aware
+placement policy's candidate ranking — the policy optimises exactly the
+cost the simulation charges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from ..cluster.topology import Topology
+from ..ids import JobId, NodeId
+from ..workload.job import Job
+
+
+def transfer_seconds(
+    size_bytes: float,
+    source_nodes: Iterable[NodeId],
+    dest_nodes: Iterable[NodeId],
+    topology: Topology,
+) -> float:
+    """Seconds to move one artifact from where it was written to the consumer.
+
+    The artifact travels once, over the widest source→destination pair —
+    the fetch is staged onto one destination node and fanned out over the
+    intra-node/NVLink domain, which the fabric model treats as free.
+    Missing endpoints (an upstream that never ran) price as zero.
+    """
+    if size_bytes <= 0:
+        return 0.0
+    best = 0.0
+    for src in source_nodes:
+        for dst in dest_nodes:
+            gbps = topology.bandwidth_gbps(src, dst)
+            if gbps > best:
+                best = gbps
+    if best <= 0 or math.isinf(best):
+        return 0.0
+    return size_bytes * 8.0 / 1e9 / best
+
+
+def artifact_fetch_seconds(
+    job: Job,
+    dest_nodes: Iterable[NodeId],
+    jobs: Mapping[JobId, Job],
+    topology: Topology,
+) -> float:
+    """Total seconds to fetch every upstream artifact of *job* to *dest_nodes*.
+
+    Fetches are sequential (the staging path is one NIC), so per-upstream
+    costs add.  Upstreams without declared artifacts contribute nothing;
+    their edge is a pure control dependency.
+    """
+    destinations = tuple(dest_nodes)
+    total = 0.0
+    for upstream_id in job.depends_on:
+        upstream = jobs.get(upstream_id)
+        if upstream is None or upstream.artifact_bytes <= 0:
+            continue
+        total += transfer_seconds(
+            upstream.artifact_bytes, upstream.last_nodes, destinations, topology
+        )
+    return total

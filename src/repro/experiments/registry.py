@@ -38,6 +38,7 @@ from .systems import (
     run_t3_failures,
     run_t4_compiler_cache,
 )
+from .workflows import run_w_dag
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.experiment_id: spec
@@ -137,6 +138,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "F-FED", "Federated multi-site goodput", "table", run_f_fed,
             "Cross-cluster routing/migration policies vs a single overloaded home site, with the fleet goodput decomposition.",
+        ),
+        ExperimentSpec(
+            "W-DAG", "Workflow-DAG placement", "table", run_w_dag,
+            "Transfer-aware vs oblivious placement for pipeline DAGs: makespan, critical-path bound, and artifact fetch time.",
         ),
     ]
 }

@@ -1,0 +1,125 @@
+"""W-DAG: transfer-aware vs transfer-oblivious placement for workflow DAGs.
+
+Pipeline-shaped jobs (chains, fan-outs, fan-ins, RAG diamonds) ship
+artifacts between stages over the leaf–spine fabric.  A placement policy
+that ignores where the upstream artifacts landed pays the fabric price on
+every edge; :class:`~repro.sched.placement.transfer_aware.TransferAwarePlacement`
+ranks candidate nodes by artifact-fetch cost (colocating with the data
+when it can, deferring briefly when the data-holding node is about to
+free up) and pays less.  This experiment pins that gap: same trace, same
+cluster, same scheduler — only the placement differs — and transfer-aware
+must beat the oblivious baselines on mean workflow makespan at equal
+utilization.
+
+The unit execution model makes the per-workflow critical path an exact
+analytical lower bound on makespan (no interference slowdown), so the
+table also reports the bound and the residual — which is pure queueing
+plus transfer, the only levers placement holds.
+"""
+
+from __future__ import annotations
+
+from .. import sweep
+from ..sweep import ClusterSpec, SchedulerSpec, SimCell, WorkflowTraceSpec
+from .common import ExperimentResult, campus_trace_spec
+
+#: Oblivious baselines the transfer-aware policy is measured against.
+WDAG_PLACEMENTS = ("transfer-aware", "best-fit", "first-fit")
+
+#: Cluster sized so pipeline stages compete for nodes but never starve:
+#: 12 × 8 = 96 GPUs.
+_WDAG_NODES = 12
+
+#: Stage artifacts are deliberately heavy (median 320 GB): at the fabric's
+#: 100 Gbps cross-node bandwidth an average edge costs ~26 s of fetch,
+#: which only same-node colocation (infinite bandwidth) avoids entirely.
+#: Stages and background jobs are kept narrow (≤ 4 GPUs) so whole-node
+#: fragmentation — a packing effect every placement pays, studied in F8 —
+#: does not drown the transfer signal this experiment isolates.
+_WDAG_WORKFLOW_OVERRIDES = {
+    "artifact_gb_median": 320.0,
+    "artifact_gb_sigma": 1.0,
+    "stage_median_minutes": 18.0,
+    "fan_width": (2, 4),
+    "stage_gpu_pmf": {1: 0.6, 2: 0.3, 4: 0.1},
+}
+
+
+def _wdag_cells(seed: int, scale: float) -> dict[str, SimCell]:
+    days = max(1.0, 4.0 * scale)
+    # Moderate background load (45% of the 96-GPU capacity) so workflow
+    # stages queue realistically without the base jobs drowning them.
+    tspec = campus_trace_spec(
+        seed,
+        scale,
+        days=4.0,
+        load=0.45,
+        cluster_gpus=_WDAG_NODES * 8,
+        gpu_demand_pmf={1: 0.55, 2: 0.25, 4: 0.20},
+    )
+    wspec = WorkflowTraceSpec(
+        days=days,
+        workflows_per_day=36.0,
+        synth_seed=seed + 101,
+        overrides=dict(_WDAG_WORKFLOW_OVERRIDES),
+    )
+    return {
+        placement: SimCell(
+            trace=tspec,
+            scheduler=SchedulerSpec(name="backfill-easy", placement=placement),
+            cluster=ClusterSpec(kind="uniform", nodes=_WDAG_NODES),
+            exec_model={"unit": True},
+            workflow=wspec,
+        )
+        for placement in WDAG_PLACEMENTS
+    }
+
+
+def run_w_dag(seed: int, scale: float) -> ExperimentResult:
+    """W-DAG: workflow makespan by placement policy (table)."""
+    runs = sweep.run_cells(_wdag_cells(seed, scale))
+    rows = []
+    for placement, result in runs.items():
+        summary = result.summary
+        rows.append(
+            {
+                "placement": placement,
+                "wf_makespan_mean_h": round(summary["wf_makespan_mean_h"], 4),
+                "wf_critical_path_h": round(summary["wf_critical_path_h"], 4),
+                "wf_transfer_s": round(summary["wf_transfer_s"], 1),
+                "wf_completed": int(summary["wf_completed"]),
+                "workflows": int(summary["workflows"]),
+                "utilization": round(summary["utilization"], 4),
+                "avg_wait_h": round(summary["avg_wait_h"], 3),
+                "completed": int(summary["completed"]),
+            }
+        )
+    rows.sort(key=lambda row: float(row["wf_makespan_mean_h"]))
+    aware = next(row for row in rows if row["placement"] == "transfer-aware")
+    oblivious = min(
+        (row for row in rows if row["placement"] != "transfer-aware"),
+        key=lambda row: float(row["wf_makespan_mean_h"]),
+    )
+    gap_s = 3600.0 * (
+        float(oblivious["wf_makespan_mean_h"]) - float(aware["wf_makespan_mean_h"])
+    )
+    return ExperimentResult(
+        "W-DAG",
+        "Workflow makespan: transfer-aware vs oblivious placement",
+        rows=rows,
+        notes=(
+            f"Pipeline DAGs (chain/fan-out/fan-in/RAG, ~320 GB median "
+            f"artifacts) over a {_WDAG_NODES}-node uniform cluster with "
+            f"background campus load; unit execution model, so "
+            f"wf_critical_path_h is an exact per-workflow lower bound and "
+            f"the makespan residual is queueing + transfer only. "
+            f"Transfer-aware placement colocates stages with their upstream "
+            f"artifacts (cross-node fetches cost ~26 s per edge at 100 Gbps), "
+            f"cutting fetch time to {float(aware['wf_transfer_s']):.0f} s vs "
+            f"{float(oblivious['wf_transfer_s']):.0f} s for the best "
+            f"oblivious baseline ({oblivious['placement']}) and the mean "
+            f"workflow makespan by {gap_s:.0f} s — at equal utilization "
+            f"({float(aware['utilization']):.4f} vs "
+            f"{float(oblivious['utilization']):.4f})."
+        ),
+    )

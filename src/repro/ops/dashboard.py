@@ -138,6 +138,20 @@ def run_report(result: SimulationResult, top_n: int = 5) -> str:
     if failures:
         out.write(f"failure taxonomy: {failures}\n")
 
+    workflow = metrics.workflow
+    if workflow is not None:
+        out.write(
+            f"workflows: {workflow.completed_workflows}/{workflow.workflows} "
+            f"completed ({workflow.stages} stages), makespan mean "
+            f"{_format_hours(workflow.makespan_mean_s)} vs critical path "
+            f"{_format_hours(workflow.critical_path_mean_s)}\n"
+        )
+        out.write(
+            f"workflow waits: dependency hold {_format_hours(workflow.dep_hold_wait_mean_s)}"
+            f" + post-release queueing {_format_hours(workflow.post_release_wait_mean_s)}"
+            f" per stage; {workflow.transfer_seconds:,.0f}s moving artifacts\n"
+        )
+
     serving = metrics.serving
     if serving is not None:
         out.write(

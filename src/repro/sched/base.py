@@ -167,7 +167,7 @@ class Scheduler(abc.ABC):
         if self._blocked_at_epoch.get(job.job_id) == epoch:
             perf.blocked_cache_hits += 1
             return None
-        placement = self.placement.place(ctx.cluster, job.request)
+        placement = self.placement.place_job(ctx.cluster, job)
         if placement is None:
             self._blocked_at_epoch[job.job_id] = epoch
         else:

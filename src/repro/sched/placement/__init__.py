@@ -5,6 +5,7 @@ from .best_fit import BestFitPlacement, WorstFitPlacement
 from .first_fit import FirstFitPlacement
 from .hived import BuddyCellPlacement, next_pow2, pow2_decompose
 from .topology_aware import TopologyAwarePlacement
+from .transfer_aware import TransferAwarePlacement
 
 PLACEMENT_POLICIES = {
     "first-fit": FirstFitPlacement,
@@ -12,6 +13,7 @@ PLACEMENT_POLICIES = {
     "worst-fit": WorstFitPlacement,
     "topology-aware": TopologyAwarePlacement,
     "buddy-cell": BuddyCellPlacement,
+    "transfer-aware": TransferAwarePlacement,
 }
 
 
@@ -34,6 +36,7 @@ __all__ = [
     "FirstFitPlacement",
     "PlacementPolicy",
     "TopologyAwarePlacement",
+    "TransferAwarePlacement",
     "WorstFitPlacement",
     "candidate_nodes",
     "make_placement",

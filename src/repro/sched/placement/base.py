@@ -19,12 +19,12 @@ books track the cluster.
 from __future__ import annotations
 
 import abc
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from ...cluster.cluster import Cluster
 from ...cluster.node import Node
 from ...ids import JobId, NodeId
-from ...workload.job import ResourceRequest
+from ...workload.job import Job, ResourceRequest
 
 
 def request_chunks(request: ResourceRequest) -> list[int]:
@@ -101,6 +101,23 @@ class PlacementPolicy(abc.ABC):
     @abc.abstractmethod
     def place(self, cluster: Cluster, request: ResourceRequest) -> dict[NodeId, int] | None:
         """Return a placement or ``None`` when the request cannot start now."""
+
+    def place_job(self, cluster: Cluster, job: Job) -> dict[NodeId, int] | None:
+        """Job-aware entry point the scheduler calls.
+
+        The default ignores job identity and delegates to :meth:`place`, so
+        every existing policy behaves exactly as before.  Policies that care
+        *which* job is being placed (transfer-aware: where do its upstream
+        artifacts sit?) override this.
+        """
+        return self.place(cluster, job.request)
+
+    def bind(self, jobs: Mapping[JobId, Job]) -> None:
+        """Give the policy read access to the simulation's job table.
+
+        Called once by the simulator at construction.  Default: no-op;
+        job-aware policies keep the mapping to resolve dependency ids.
+        """
 
     # -- lifecycle hooks for stateful allocators -------------------------------
 

@@ -4,26 +4,44 @@ from .parser import (
     dump_yaml_subset,
     parse_task_file,
     parse_task_text,
+    parse_workflow_file,
+    parse_workflow_text,
     parse_yaml_subset,
     spec_from_dict,
     spec_to_yaml,
+    workflow_from_dict,
 )
 from .taskspec import EnvironmentSpec, FileSpec, QosSpec, ResourceSpec, TaskSpec
-from .validate import ValidationIssue, ensure_valid, validate_spec
+from .validate import (
+    ValidationIssue,
+    ensure_valid,
+    ensure_valid_workflow,
+    validate_spec,
+    validate_workflow,
+)
+from .workflow import ArtifactSpec, StageSpec, WorkflowSpec
 
 __all__ = [
+    "ArtifactSpec",
     "EnvironmentSpec",
     "FileSpec",
     "QosSpec",
     "ResourceSpec",
+    "StageSpec",
     "TaskSpec",
     "ValidationIssue",
+    "WorkflowSpec",
     "dump_yaml_subset",
     "ensure_valid",
+    "ensure_valid_workflow",
     "parse_task_file",
     "parse_task_text",
+    "parse_workflow_file",
+    "parse_workflow_text",
     "parse_yaml_subset",
     "spec_from_dict",
     "spec_to_yaml",
     "validate_spec",
+    "validate_workflow",
+    "workflow_from_dict",
 ]

@@ -20,6 +20,7 @@ from typing import Any
 
 from ..errors import SchemaError
 from .taskspec import EnvironmentSpec, FileSpec, QosSpec, ResourceSpec, TaskSpec
+from .workflow import ArtifactSpec, StageSpec, WorkflowSpec
 
 # --------------------------------------------------------------------------
 # YAML-subset parsing
@@ -239,11 +240,11 @@ def dump_yaml_subset(data: Any, indent: int = 0) -> str:
     return f"{pad}{_emit_scalar(data)}"
 
 
-def spec_to_yaml(spec) -> str:
+def spec_to_yaml(spec: TaskSpec) -> str:
     """Render a :class:`TaskSpec` as a task.yaml document."""
     data = spec.to_dict()
 
-    def prune(value):
+    def prune(value: Any) -> Any:
         if isinstance(value, dict):
             cleaned = {k: prune(v) for k, v in value.items()}
             return {k: v for k, v in cleaned.items() if v not in (None, "", [], {}, ())}
@@ -272,7 +273,7 @@ _TOP_KEYS = {
 }
 
 
-def _check_keys(data: dict, allowed: set[str], context: str) -> None:
+def _check_keys(data: dict[str, Any], allowed: set[str], context: str) -> None:
     unknown = set(data) - allowed
     if unknown:
         raise SchemaError(f"{context}: unknown keys {sorted(unknown)}")
@@ -301,7 +302,7 @@ def _files_from(items: Any, context: str) -> tuple[FileSpec, ...]:
     return tuple(files)
 
 
-def spec_from_dict(data: dict) -> TaskSpec:
+def spec_from_dict(data: dict[str, Any]) -> TaskSpec:
     """Build a validated :class:`TaskSpec` from a parsed mapping."""
     if not isinstance(data, dict):
         raise SchemaError(f"task description must be a mapping, got {type(data).__name__}")
@@ -387,3 +388,96 @@ def parse_task_text(text: str) -> TaskSpec:
 def parse_task_file(path: str | Path) -> TaskSpec:
     """Parse a ``task.yaml`` / ``task.json`` file into a :class:`TaskSpec`."""
     return parse_task_text(Path(path).read_text())
+
+
+# --------------------------------------------------------------------------
+# Dict → WorkflowSpec
+# --------------------------------------------------------------------------
+
+_WORKFLOW_KEYS = {"workflow", "stages", "artifacts"}
+_STAGE_ONLY_KEYS = {"depends_on", "consumes"}
+
+
+def _names_from(items: Any, context: str) -> tuple[str, ...]:
+    if items is None:
+        return ()
+    if not isinstance(items, list):
+        raise SchemaError(f"{context} must be a list of names")
+    return tuple(str(item) for item in items)
+
+
+def workflow_from_dict(data: dict[str, Any]) -> WorkflowSpec:
+    """Build a validated :class:`WorkflowSpec` from a parsed mapping.
+
+    The document shape extends the ``task.yaml`` subset: a top-level
+    ``workflow: <name>``, a ``stages`` list whose items are full task
+    mappings plus optional ``depends_on``/``consumes`` name lists, and an
+    optional ``artifacts`` list of ``{name, producer, size_bytes}``.
+    """
+    if not isinstance(data, dict):
+        raise SchemaError(
+            f"workflow description must be a mapping, got {type(data).__name__}"
+        )
+    _check_keys(data, _WORKFLOW_KEYS, "workflow")
+    if data.get("workflow") in (None, ""):
+        raise SchemaError("workflow: missing required field 'workflow' (the name)")
+    stage_items = data.get("stages")
+    if not isinstance(stage_items, list) or not stage_items:
+        raise SchemaError("workflow: 'stages' must be a non-empty list")
+
+    stages = []
+    for item in stage_items:
+        if not isinstance(item, dict):
+            raise SchemaError("workflow: each stage must be a task mapping")
+        _check_keys(item, _TOP_KEYS | _STAGE_ONLY_KEYS, "stage")
+        task_data = {k: v for k, v in item.items() if k not in _STAGE_ONLY_KEYS}
+        stages.append(
+            StageSpec(
+                task=spec_from_dict(task_data),
+                depends_on=_names_from(item.get("depends_on"), "stage.depends_on"),
+                consumes=_names_from(item.get("consumes"), "stage.consumes"),
+            )
+        )
+
+    artifact_items = data.get("artifacts") or []
+    if not isinstance(artifact_items, list):
+        raise SchemaError("workflow: 'artifacts' must be a list")
+    artifacts = []
+    for item in artifact_items:
+        if not isinstance(item, dict):
+            raise SchemaError("workflow: each artifact needs name/producer/size_bytes")
+        _check_keys(item, {"name", "producer", "size_bytes"}, "artifact")
+        try:
+            artifacts.append(
+                ArtifactSpec(
+                    name=str(item["name"]),
+                    producer=str(item["producer"]),
+                    size_bytes=int(item["size_bytes"]),
+                )
+            )
+        except KeyError as exc:
+            raise SchemaError(f"artifact: missing field {exc}") from exc
+
+    return WorkflowSpec(
+        name=str(data["workflow"]),
+        stages=tuple(stages),
+        artifacts=tuple(artifacts),
+    )
+
+
+def parse_workflow_text(text: str) -> WorkflowSpec:
+    """Parse a workflow description from JSON or the YAML subset."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"invalid JSON workflow description: {exc}") from exc
+    else:
+        data = parse_yaml_subset(text)
+    return workflow_from_dict(data)
+
+
+def parse_workflow_file(path: str | Path) -> WorkflowSpec:
+    """Parse a ``workflow.yaml`` / ``.json`` file into a :class:`WorkflowSpec`."""
+    return parse_workflow_text(Path(path).read_text())

@@ -16,6 +16,7 @@ from ..cluster.cluster import Cluster
 from ..errors import SchemaError
 from ..workload.models import MODEL_CATALOG
 from .taskspec import TaskSpec
+from .workflow import WorkflowSpec
 
 
 @dataclass(frozen=True)
@@ -33,10 +34,57 @@ class ValidationIssue:
 def validate_spec(spec: TaskSpec, cluster: Cluster | None = None) -> list[ValidationIssue]:
     """Return all issues found; errors make the spec unsubmittable."""
     issues: list[ValidationIssue] = []
+    issues.extend(_validate_files(spec))
     issues.extend(_validate_model(spec))
     if cluster is not None:
         issues.extend(_validate_against_cluster(spec, cluster))
     return issues
+
+
+def validate_workflow(
+    workflow: WorkflowSpec, cluster: Cluster | None = None
+) -> list[ValidationIssue]:
+    """Validate a workflow: stage-name uniqueness plus every stage's spec.
+
+    Stage issues are reported with a ``stages[<name>].`` field prefix so the
+    user can tell which stage failed.
+    """
+    issues: list[ValidationIssue] = []
+    names = [stage.name for stage in workflow.stages]
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        issues.append(
+            ValidationIssue(
+                "error",
+                "stages",
+                f"duplicate stage names: {sorted(duplicates)}",
+            )
+        )
+    for stage in workflow.stages:
+        for issue in validate_spec(stage.task, cluster):
+            issues.append(
+                ValidationIssue(
+                    issue.severity,
+                    f"stages[{stage.name}].{issue.field}",
+                    issue.message,
+                )
+            )
+    return issues
+
+
+def ensure_valid_workflow(
+    workflow: WorkflowSpec, cluster: Cluster | None = None
+) -> list[ValidationIssue]:
+    """Validate a workflow; raise :class:`SchemaError` on any error.
+
+    Returns the warnings so callers can surface them.
+    """
+    issues = validate_workflow(workflow, cluster)
+    errors = [issue for issue in issues if issue.severity == "error"]
+    if errors:
+        details = "; ".join(str(issue) for issue in errors)
+        raise SchemaError(f"workflow {workflow.name!r} failed validation: {details}")
+    return [issue for issue in issues if issue.severity == "warning"]
 
 
 def ensure_valid(spec: TaskSpec, cluster: Cluster | None = None) -> list[ValidationIssue]:
@@ -50,6 +98,26 @@ def ensure_valid(spec: TaskSpec, cluster: Cluster | None = None) -> list[Validat
         details = "; ".join(str(issue) for issue in errors)
         raise SchemaError(f"task {spec.name!r} failed validation: {details}")
     return [issue for issue in issues if issue.severity == "warning"]
+
+
+def _validate_files(spec: TaskSpec) -> list[ValidationIssue]:
+    """Report duplicate file paths across code_files and datasets.
+
+    The :class:`TaskSpec` constructor rejects these too; repeating the check
+    here keeps the validator complete for specs arriving through other
+    construction paths (deserialisation, test doubles).
+    """
+    paths = [f.path for f in spec.code_files + spec.datasets]
+    duplicates = {p for p in paths if paths.count(p) > 1}
+    if not duplicates:
+        return []
+    return [
+        ValidationIssue(
+            "error",
+            "code_files/datasets",
+            f"duplicate file paths: {sorted(duplicates)}",
+        )
+    ]
 
 
 def _validate_model(spec: TaskSpec) -> list[ValidationIssue]:

@@ -1,0 +1,247 @@
+"""Workflow DAGs: multi-stage task compositions with declared artifacts.
+
+A :class:`WorkflowSpec` composes named :class:`~repro.schema.taskspec.TaskSpec`
+stages into a directed acyclic graph.  Edges come from two places: explicit
+``depends_on`` declarations, and *artifacts* — named outputs a producer stage
+writes and downstream stages consume.  Declaring the artifact (producer,
+size_bytes) is what lets the compiler and the transfer-aware placement policy
+reason about how much data must move across the leaf–spine fabric between
+stages.
+
+Like :class:`TaskSpec`, workflows are frozen, strictly validated at
+construction (duplicate stage names, dangling references and dependency
+cycles are all :class:`~repro.errors.SchemaError`\\ s), and carry a canonical
+``fingerprint()`` so identical pipelines are identical artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SchemaError
+from .taskspec import _NAME_RE, TaskSpec
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One inter-stage artifact: produced by one stage, consumed downstream."""
+
+    name: str
+    producer: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SchemaError(f"artifact name {self.name!r} must match {_NAME_RE.pattern}")
+        if not _NAME_RE.match(self.producer):
+            raise SchemaError(
+                f"artifact {self.name}: producer {self.producer!r} must match "
+                f"{_NAME_RE.pattern}"
+            )
+        if self.size_bytes < 0:
+            raise SchemaError(f"artifact {self.name}: negative size")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a workflow: a task plus its incoming dependency edges.
+
+    ``depends_on`` names stages that must finish first (control dependency);
+    ``consumes`` names artifacts whose producers become dependencies too
+    (data dependency — these are the edges that carry bytes).
+    """
+
+    task: TaskSpec
+    depends_on: tuple[str, ...] = ()
+    consumes: tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    def __post_init__(self) -> None:
+        for upstream in self.depends_on:
+            if upstream == self.task.name:
+                raise SchemaError(f"stage {self.name!r} depends on itself")
+        if len(set(self.depends_on)) != len(self.depends_on):
+            raise SchemaError(f"stage {self.name!r}: duplicate depends_on entries")
+        if len(set(self.consumes)) != len(self.consumes):
+            raise SchemaError(f"stage {self.name!r}: duplicate consumes entries")
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """A frozen, fingerprinted DAG of task stages.
+
+    Validation at construction guarantees every instance is well-formed:
+    unique stage names, every ``depends_on``/``consumes``/producer reference
+    resolves, and the dependency graph is acyclic (checked by running the
+    topological sort).
+    """
+
+    name: str
+    stages: tuple[StageSpec, ...]
+    artifacts: tuple[ArtifactSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SchemaError(f"workflow name {self.name!r} must match {_NAME_RE.pattern}")
+        if not self.stages:
+            raise SchemaError(f"workflow {self.name!r} has no stages")
+        names = [stage.name for stage in self.stages]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"workflow {self.name!r}: duplicate stage names {sorted(duplicates)}"
+            )
+        artifact_names = [artifact.name for artifact in self.artifacts]
+        duplicate_artifacts = {n for n in artifact_names if artifact_names.count(n) > 1}
+        if duplicate_artifacts:
+            raise SchemaError(
+                f"workflow {self.name!r}: duplicate artifact names "
+                f"{sorted(duplicate_artifacts)}"
+            )
+        stage_names = set(names)
+        for artifact in self.artifacts:
+            if artifact.producer not in stage_names:
+                raise SchemaError(
+                    f"workflow {self.name!r}: artifact {artifact.name!r} names "
+                    f"unknown producer {artifact.producer!r}"
+                )
+        by_artifact = {artifact.name: artifact for artifact in self.artifacts}
+        for stage in self.stages:
+            for upstream in stage.depends_on:
+                if upstream not in stage_names:
+                    raise SchemaError(
+                        f"workflow {self.name!r}: stage {stage.name!r} depends on "
+                        f"unknown stage {upstream!r}"
+                    )
+            for consumed in stage.consumes:
+                artifact = by_artifact.get(consumed)
+                if artifact is None:
+                    raise SchemaError(
+                        f"workflow {self.name!r}: stage {stage.name!r} consumes "
+                        f"undeclared artifact {consumed!r}"
+                    )
+                if artifact.producer == stage.name:
+                    raise SchemaError(
+                        f"workflow {self.name!r}: stage {stage.name!r} consumes its "
+                        f"own artifact {consumed!r}"
+                    )
+        # Cycle rejection: a workflow that cannot be topologically ordered
+        # is not constructible.
+        self.topological_order()
+
+    # -- graph accessors ----------------------------------------------------
+
+    def stage(self, name: str) -> StageSpec:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise SchemaError(f"workflow {self.name!r} has no stage {name!r}")
+
+    def dependencies_of(self, name: str) -> tuple[str, ...]:
+        """Upstream stage names of *name*: explicit plus artifact producers.
+
+        Declaration order is preserved and duplicates (a stage both named in
+        ``depends_on`` and producing a consumed artifact) collapse.
+        """
+        stage = self.stage(name)
+        by_artifact = {artifact.name: artifact for artifact in self.artifacts}
+        upstream: list[str] = []
+        for dep in stage.depends_on:
+            if dep not in upstream:
+                upstream.append(dep)
+        for consumed in stage.consumes:
+            producer = by_artifact[consumed].producer
+            if producer not in upstream:
+                upstream.append(producer)
+        return tuple(upstream)
+
+    def artifacts_of(self, producer: str) -> tuple[ArtifactSpec, ...]:
+        """Artifacts the named stage produces (declaration order)."""
+        return tuple(a for a in self.artifacts if a.producer == producer)
+
+    def inbound_bytes(self, name: str) -> int:
+        """Total artifact bytes the named stage must fetch before starting."""
+        by_artifact = {artifact.name: artifact for artifact in self.artifacts}
+        return sum(by_artifact[consumed].size_bytes for consumed in self.stage(name).consumes)
+
+    def outbound_bytes(self, name: str) -> int:
+        """Total artifact bytes the named stage produces."""
+        return sum(artifact.size_bytes for artifact in self.artifacts_of(name))
+
+    # -- ordering and bounds ------------------------------------------------
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm with declaration-order tie-breaking.
+
+        Raises :class:`SchemaError` naming the stuck stages when the graph
+        has a cycle.
+        """
+        order: list[str] = []
+        placed: set[str] = set()
+        remaining = [stage.name for stage in self.stages]
+        while remaining:
+            ready = [
+                name
+                for name in remaining
+                if all(dep in placed for dep in self.dependencies_of(name))
+            ]
+            if not ready:
+                raise SchemaError(
+                    f"workflow {self.name!r}: dependency cycle involving "
+                    f"{sorted(remaining)}"
+                )
+            for name in ready:
+                order.append(name)
+                placed.add(name)
+            remaining = [name for name in remaining if name not in placed]
+        return tuple(order)
+
+    def critical_path_seconds(self, duration_of: Callable[[str], float]) -> float:
+        """Longest dependency chain under per-stage durations.
+
+        This is the analytical makespan lower bound for the workflow on an
+        unconstrained cluster with free data movement: no schedule can beat
+        the longest chain of stage durations.  ``duration_of`` maps a stage
+        name to its execution seconds.
+        """
+        finish: dict[str, float] = {}
+        for name in self.topological_order():
+            start = max(
+                (finish[dep] for dep in self.dependencies_of(name)), default=0.0
+            )
+            finish[name] = start + duration_of(name)
+        return max(finish.values())
+
+    # -- identity -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stages": [
+                {
+                    "task": stage.task.to_dict(),
+                    "depends_on": list(stage.depends_on),
+                    "consumes": list(stage.consumes),
+                }
+                for stage in self.stages
+            ],
+            "artifacts": [
+                {
+                    "name": artifact.name,
+                    "producer": artifact.producer,
+                    "size_bytes": artifact.size_bytes,
+                }
+                for artifact in self.artifacts
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form — the workflow's identity."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=list)
+        return hashlib.sha256(canonical.encode()).hexdigest()

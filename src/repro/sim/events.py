@@ -35,6 +35,19 @@ class JobFinish(Event):
 
 
 @dataclass(frozen=True)
+class DependencyRelease(Event):
+    """A workflow job's upstream dependencies have all completed.
+
+    Fired by the controller when the last upstream of a ``PENDING_DEPS``
+    job reaches a terminal state; the handler re-checks the dependency set
+    (an upstream may have failed at the same timestamp) before admitting
+    the job into the scheduler's queue.
+    """
+
+    job_id: JobId
+
+
+@dataclass(frozen=True)
 class JobArrival(Event):
     """A trace job reaches its submission time."""
 
@@ -107,22 +120,25 @@ class ServiceScaleUp(Event):
 
 
 #: Event-class dispatch priority at equal timestamps (lower runs first).
-#: Serving events sit between arrivals and the scheduling pass: rate
+#: DependencyRelease runs right after the JobFinish that triggered it so a
+#: downstream stage becomes schedulable in the very pass that sees its
+#: upstream finish.  Serving events sit between arrivals and the scheduling pass: rate
 #: changes land first (they decide scaling), scale-downs free capacity
 #: before scale-ups ask for it, and the SchedulerTick that places the new
 #: replica jobs runs after all of them.
 PRIORITY: dict[type[Event], int] = {
     JobFinish: 0,
-    StageComplete: 1,
-    NodeRepair: 2,
-    NodeFailure: 3,
-    JobArrival: 4,
-    RequestRateChange: 5,
-    ServiceScaleDown: 6,
-    ServiceScaleUp: 7,
-    QuantumExpiry: 8,
-    SchedulerTick: 9,
-    MetricsSample: 10,
+    DependencyRelease: 1,
+    StageComplete: 2,
+    NodeRepair: 3,
+    NodeFailure: 4,
+    JobArrival: 5,
+    RequestRateChange: 6,
+    ServiceScaleDown: 7,
+    ServiceScaleUp: 8,
+    QuantumExpiry: 9,
+    SchedulerTick: 10,
+    MetricsSample: 11,
 }
 
 

@@ -61,6 +61,7 @@ class MetricsCollector:
     rejected_jobs: int = 0
     provision_seconds: float = 0.0
     stage_seconds: float = 0.0
+    transfer_seconds: float = 0.0
     walltime_kills: int = 0
     scheduler_passes: int = 0
     _last_time: float = 0.0
@@ -135,6 +136,7 @@ class MetricsCollector:
             fleet.rejected_jobs += collector.rejected_jobs
             fleet.provision_seconds += collector.provision_seconds
             fleet.stage_seconds += collector.stage_seconds
+            fleet.transfer_seconds += collector.transfer_seconds
             fleet.walltime_kills += collector.walltime_kills
             fleet.scheduler_passes += collector.scheduler_passes
         fleet._last_time = now
@@ -242,6 +244,149 @@ class GoodputMetrics:
         }
 
 
+@dataclass(frozen=True)
+class WorkflowMetrics:
+    """Per-run rollup of multi-stage workflow (DAG) jobs.
+
+    *Makespan* of a workflow is last stage end minus first stage submit.
+    *Critical path* is the analytical lower bound on that makespan: the
+    longest dependency chain of stage durations, assuming zero queueing,
+    zero transfer, and unit execution speed — on any run with a unit
+    execution model, ``makespan >= critical_path`` must hold per workflow
+    (``min_slack_s >= 0``), which :mod:`repro.sim.simulator` audits under
+    ``debug_invariants``.  Stage waiting decomposes into *dependency hold*
+    (submit → last upstream finished) and *post-release queueing*
+    (released → started): the first is the workflow's own structure, the
+    second is the cluster's congestion — only the second is the
+    scheduler's fault.
+    """
+
+    workflows: int
+    completed_workflows: int
+    stages: int
+    makespan_mean_s: float
+    makespan_max_s: float
+    critical_path_mean_s: float
+    #: min over completed workflows of (makespan − critical path); ≥ 0
+    #: under unit execution (NaN when no workflow completed).
+    min_slack_s: float
+    dep_hold_wait_mean_s: float
+    post_release_wait_mean_s: float
+    transfer_seconds: float
+    per_workflow: dict[str, dict[str, float]]
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "workflows": float(self.workflows),
+            "wf_completed": float(self.completed_workflows),
+            "wf_makespan_mean_h": self.makespan_mean_s / 3600.0,
+            "wf_critical_path_h": self.critical_path_mean_s / 3600.0,
+            "wf_transfer_s": self.transfer_seconds,
+        }
+
+
+def _critical_path_s(group: list[Job]) -> float:
+    """Longest dependency chain of stage durations within one workflow.
+
+    Kahn's traversal over the in-group edges (cross-workflow dependencies
+    are dropped — omitting an edge only loosens the lower bound).  A cycle
+    in the trace's ``depends_on`` graph (which would deadlock-hold the
+    stages forever in simulation) yields NaN rather than a bogus bound.
+    """
+    ids = {job.job_id for job in group}
+    by_id = {job.job_id: job for job in group}
+    indegree = {
+        job.job_id: sum(1 for dep in job.depends_on if dep in ids) for job in group
+    }
+    dependents: dict[str, list[str]] = {job.job_id: [] for job in group}
+    for job in group:
+        for dep in job.depends_on:
+            if dep in ids:
+                dependents[dep].append(job.job_id)
+    ready = [job_id for job_id, degree in indegree.items() if degree == 0]
+    finish: dict[str, float] = {}
+    while ready:
+        job_id = ready.pop()
+        job = by_id[job_id]
+        start = max(
+            (finish[dep] for dep in job.depends_on if dep in ids), default=0.0
+        )
+        finish[job_id] = start + job.duration
+        for downstream in dependents[job_id]:
+            indegree[downstream] -= 1
+            if indegree[downstream] == 0:
+                ready.append(downstream)
+    if len(finish) != len(group):
+        return float("nan")
+    return max(finish.values()) if finish else 0.0
+
+
+def workflow_rollup(
+    jobs: Iterable[Job], transfer_seconds: float
+) -> WorkflowMetrics | None:
+    """Aggregate workflow-tagged jobs; ``None`` when the run has none."""
+    groups: dict[str, list[Job]] = {}
+    for job in jobs:
+        if job.workflow_id is not None:
+            groups.setdefault(job.workflow_id, []).append(job)
+    if not groups:
+        return None
+    per_workflow: dict[str, dict[str, float]] = {}
+    makespans: list[float] = []
+    critical_paths: list[float] = []
+    slacks: list[float] = []
+    hold_waits: list[float] = []
+    post_waits: list[float] = []
+    stages = 0
+    completed_workflows = 0
+    for workflow_id, group in sorted(groups.items()):
+        stages += len(group)
+        submits = [job.submit_time for job in group]
+        ends = [job.end_time for job in group if job.end_time is not None]
+        makespan = (max(ends) - min(submits)) if ends else float("nan")
+        critical_path = _critical_path_s(group)
+        complete = all(job.state is JobState.COMPLETED for job in group)
+        per_workflow[workflow_id] = {
+            "stages": float(len(group)),
+            "makespan_s": makespan,
+            "critical_path_s": critical_path,
+            "completed": 1.0 if complete else 0.0,
+        }
+        if complete:
+            completed_workflows += 1
+            makespans.append(makespan)
+            critical_paths.append(critical_path)
+            slacks.append(makespan - critical_path)
+        for job in group:
+            if job.deps_released_at is not None:
+                hold_waits.append(max(0.0, job.deps_released_at - job.submit_time))
+                if job.first_start_time is not None:
+                    post_waits.append(
+                        max(0.0, job.first_start_time - job.deps_released_at)
+                    )
+            elif job.wait_time is not None:
+                post_waits.append(job.wait_time)
+    return WorkflowMetrics(
+        workflows=len(groups),
+        completed_workflows=completed_workflows,
+        stages=stages,
+        makespan_mean_s=float(np.mean(makespans)) if makespans else float("nan"),
+        makespan_max_s=max(makespans) if makespans else float("nan"),
+        critical_path_mean_s=(
+            float(np.mean(critical_paths)) if critical_paths else float("nan")
+        ),
+        min_slack_s=min(slacks) if slacks else float("nan"),
+        dep_hold_wait_mean_s=(
+            float(np.mean(hold_waits)) if hold_waits else float("nan")
+        ),
+        post_release_wait_mean_s=(
+            float(np.mean(post_waits)) if post_waits else float("nan")
+        ),
+        transfer_seconds=transfer_seconds,
+        per_workflow=per_workflow,
+    )
+
+
 def productive_gpu_seconds(jobs: Iterable[Job]) -> float:
     """Retained-progress GPU-seconds across a job population.
 
@@ -297,6 +442,10 @@ class SimMetrics:
     #: summaries stay byte-identical; the ops report and the federation
     #: layer surface it.
     goodput: GoodputMetrics | None = None
+    #: Workflow-DAG rollup; ``None`` unless the trace carried workflow
+    #: stages, so summaries of plain traces (and every pre-existing
+    #: golden) are byte-identical.
+    workflow: WorkflowMetrics | None = None
 
     def as_row(self) -> dict[str, float]:
         """Flat row for the T2 scheduler-comparison table."""
@@ -313,6 +462,8 @@ class SimMetrics:
         }
         if self.serving is not None:
             row.update(self.serving.as_row())
+        if self.workflow is not None:
+            row.update(self.workflow.as_row())
         return row
 
 
@@ -399,4 +550,5 @@ def summarize(
         scheduler_passes=collector.scheduler_passes,
         serving=serving,
         goodput=goodput,
+        workflow=workflow_rollup(population, collector.transfer_seconds),
     )

@@ -31,10 +31,11 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..controlplane.controller import ClusterController, TimelineEvent
-from ..controlplane.lifecycle import Actor, Cause, Transition
+from ..controlplane.lifecycle import Actor, Cause, LifecycleState, Transition
 from ..errors import ConfigError, SimulationError
 from ..execlayer.runtime import RuntimeRegistry
 from ..execlayer.speedup import ExecutionModel, UnitExecutionModel
+from ..execlayer.transfer import artifact_fetch_seconds
 from ..ids import JobId, NodeId
 from ..perf import PerfCounters
 from ..sched.base import ScheduleContext, Scheduler
@@ -43,6 +44,7 @@ from ..workload.job import FailureCategory, Job, JobState
 from ..workload.trace import Trace
 from .engine import SimulationEngine
 from .events import (
+    DependencyRelease,
     JobArrival,
     JobFinish,
     MetricsSample,
@@ -194,6 +196,19 @@ class ClusterSimulator:
             if job.job_id in self.jobs:
                 raise SimulationError(f"duplicate job id {job.job_id} in trace")
             self.controller.track(job)
+        for job in trace:
+            for upstream_id in job.depends_on:
+                if upstream_id not in self.jobs:
+                    raise SimulationError(
+                        f"job {job.job_id} depends on unknown job {upstream_id}"
+                    )
+        # Held workflow stages re-enter admission via a DependencyRelease
+        # event (never synchronously inside the upstream's finish handler),
+        # so the release lands at a deterministic rank in the event order.
+        self.controller.on_deps_ready = self._schedule_dependency_release
+        # Job-aware placement policies (transfer-aware) resolve upstream
+        # ids against the live job table.
+        scheduler.placement.bind(self.jobs)
 
         engine = self.engine
         engine.register(JobArrival, self._on_arrival)
@@ -204,6 +219,7 @@ class ClusterSimulator:
         engine.register(NodeFailure, self._on_node_failure)
         engine.register(NodeRepair, self._on_node_repair)
         engine.register(StageComplete, self._on_stage_complete)
+        engine.register(DependencyRelease, self._on_dependency_release)
 
         for job in trace:
             engine.schedule_at(job.submit_time, JobArrival(job.job_id))
@@ -288,11 +304,14 @@ class ClusterSimulator:
         self.perf.events_dequeued = self.engine.events_processed
         self.perf.peak_pending_events = self.engine.peak_pending
         serving_metrics = self.serving.finalize(now) if self.serving is not None else None
+        metrics = summarize(self.jobs, self.metrics, now, serving=serving_metrics)
+        if self.config.debug_invariants > 0:
+            self._verify_workflow_bound(metrics)
         return SimulationResult(
             scheduler=self.scheduler.name,
             placement=self.scheduler.placement.name,
             trace_name=self.trace.name,
-            metrics=summarize(self.jobs, self.metrics, now, serving=serving_metrics),
+            metrics=metrics,
             jobs=self.jobs,
             samples=self.metrics.samples,
             end_time=now,
@@ -311,7 +330,50 @@ class ClusterSimulator:
         if not self._admit_partition(job) or not self._statically_feasible(job):
             self.controller.reject(now, job)
             return
+        if job.depends_on:
+            unmet = self._unmet_dependencies(now, job)
+            if unmet is None:
+                return  # an upstream already died; the stage was cascade-killed
+            if unmet:
+                self.controller.hold_for_deps(now, job, unmet)
+                return
         self.controller.admit(now, job)
+        self._request_tick(now)
+
+    def _unmet_dependencies(self, now: float, job: Job) -> list[JobId] | None:
+        """Upstream ids *job* must still wait on, or ``None`` if doomed.
+
+        An upstream that already failed or was killed dooms the stage on
+        the spot: the controller cascade-kills it (which recursively kills
+        its own dependents) and this returns ``None``.
+        """
+        unmet: list[JobId] = []
+        for upstream_id in job.depends_on:
+            state = self.controller.lifecycle_of(upstream_id).state
+            if state is LifecycleState.FINISHED:
+                continue
+            if state.terminal:
+                self.controller.kill(
+                    now,
+                    job,
+                    cause=Cause.UPSTREAM_FAILED,
+                    actor=Actor.SIMULATOR,
+                    detail=f"upstream={upstream_id}",
+                )
+                return None
+            unmet.append(upstream_id)
+        return unmet
+
+    def _schedule_dependency_release(self, now: float, job_id: JobId) -> None:
+        self.engine.schedule_at(now, DependencyRelease(job_id))
+
+    def _on_dependency_release(self, now: float, event: DependencyRelease) -> None:
+        if (
+            self.controller.lifecycle_of(event.job_id).state
+            is not LifecycleState.PENDING_DEPS
+        ):
+            return  # killed (or cascade-killed) while held; release is stale
+        self.controller.release_deps(now, self.jobs[event.job_id])
         self._request_tick(now)
 
     def _admit_partition(self, job: Job) -> bool:
@@ -363,6 +425,7 @@ class ClusterSimulator:
             stride = max(1, round(1.0 / fraction))
             if self.metrics.scheduler_passes % stride == 0:
                 self.cluster.verify_invariants()
+                self._verify_no_held_in_queue()
         self._maybe_verify()
 
     def _on_finish(self, now: float, event: JobFinish) -> None:
@@ -432,6 +495,16 @@ class ClusterSimulator:
             self.engine.schedule_in(stage_s, StageComplete(job.job_id))
             provision_s += stage_s
             self.metrics.stage_seconds += stage_s
+        if job.depends_on:
+            # Upstream artifacts must reach this placement before work
+            # starts; priced by the same fabric model the transfer-aware
+            # placement policy ranks with.
+            fetch_s = artifact_fetch_seconds(
+                job, tuple(sorted(placement)), self.jobs, self.cluster.topology
+            )
+            if fetch_s > 0:
+                provision_s += fetch_s
+                self.metrics.transfer_seconds += fetch_s
 
         self.controller.start(
             now, job, placement, slowdown=slowdown, setup_s=provision_s
@@ -524,6 +597,38 @@ class ClusterSimulator:
         every = self.config.verify_every
         if every and self.engine.events_processed % every == 0:
             self.cluster.verify_invariants()
+
+    def _verify_no_held_in_queue(self) -> None:
+        """Audit: dependency-held stages must be invisible to the scheduler.
+
+        ``hold_for_deps`` never enqueues, so a PENDING_DEPS job in the
+        scheduler queue means a lifecycle edge leaked around the control
+        plane.
+        """
+        for job in self.scheduler.queue:
+            if (
+                self.controller.lifecycle_of(job.job_id).state
+                is LifecycleState.PENDING_DEPS
+            ):
+                raise SimulationError(
+                    f"dependency-held job {job.job_id} leaked into the scheduler queue"
+                )
+
+    def _verify_workflow_bound(self, metrics: SimMetrics) -> None:
+        """Audit: no completed workflow may beat its critical-path bound.
+
+        The bound assumes stages run at their nominal duration, so it is
+        only exact under the unit execution model; runs with speedup or
+        interference models skip the check.
+        """
+        workflow = metrics.workflow
+        if workflow is None or type(self.exec_model) is not UnitExecutionModel:
+            return
+        if workflow.completed_workflows and workflow.min_slack_s < -1e-6:
+            raise SimulationError(
+                "workflow makespan beat its critical-path lower bound "
+                f"(min slack {workflow.min_slack_s:.6f}s)"
+            )
 
 
 def simulate(

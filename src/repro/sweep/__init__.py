@@ -10,7 +10,13 @@ workers as serialised rows).  Results merge back in submission order, so
 everything downstream renders byte-identically to a serial run.
 """
 
-from .build import build_cluster, build_scheduler, build_trace, run_cell
+from .build import (
+    build_cluster,
+    build_scheduler,
+    build_trace,
+    merge_workflow_jobs,
+    run_cell,
+)
 from .cache import (
     CACHE_ENV_VAR,
     SweepCache,
@@ -39,6 +45,7 @@ from .spec import (
     ServingSpec,
     SimCell,
     TraceSpec,
+    WorkflowTraceSpec,
     canonical_json,
 )
 
@@ -55,6 +62,7 @@ __all__ = [
     "SweepStats",
     "TraceMeta",
     "TraceSpec",
+    "WorkflowTraceSpec",
     "active_runner",
     "build_cluster",
     "build_scheduler",
@@ -64,6 +72,7 @@ __all__ = [
     "code_fingerprint",
     "default_cache_dir",
     "execution",
+    "merge_workflow_jobs",
     "run_cell",
     "run_cells",
     "run_one",

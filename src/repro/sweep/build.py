@@ -23,7 +23,7 @@ from ..cluster.cluster import (
     uniform_cluster,
 )
 from ..errors import ConfigError
-from ..execlayer.speedup import ExecutionModel
+from ..execlayer.speedup import ExecutionModel, UnitExecutionModel
 from ..execlayer.storage import SharedFilesystem, StorageConfig
 from ..ops.fragmentation import FragmentationProbe
 from ..sched import make_scheduler
@@ -34,10 +34,18 @@ from ..sched.quota import QuotaConfig
 from ..sim.failures import FailureConfig
 from ..sim.simulator import ClusterSimulator, SimConfig
 from ..workload.models import assign_models
+from ..workload.pipelines import PipelineSynthesizer, PipelineTraceConfig
 from ..workload.synth import TraceSynthesizer, tacc_campus, with_load
 from ..workload.trace import Trace
 from .result import CellResult
-from .spec import ClusterSpec, SchedulerSpec, ServingSpec, SimCell, TraceSpec
+from .spec import (
+    ClusterSpec,
+    SchedulerSpec,
+    ServingSpec,
+    SimCell,
+    TraceSpec,
+    WorkflowTraceSpec,
+)
 
 #: Probe names accepted in ``SimCell.probes``.
 KNOWN_PROBES = ("fragmentation",)
@@ -65,6 +73,29 @@ def build_trace(spec: TraceSpec) -> Trace:
     return trace
 
 
+def merge_workflow_jobs(spec: WorkflowTraceSpec, base: Trace) -> Trace:
+    """Append synthesized pipeline stages to a rehydrated base trace.
+
+    Happens worker-side on the fresh per-cell copy, so the parent's trace
+    memo (shared across cells) is never mutated.  Workflow job ids use the
+    ``wf-`` prefix, disjoint from the synthesizers' ``job-`` namespace.
+    """
+    from dataclasses import replace as _replace
+
+    config = _replace(
+        PipelineTraceConfig(
+            days=spec.days, workflows_per_day=spec.workflows_per_day
+        ),
+        **spec.overrides,  # type: ignore[arg-type]
+    )
+    workflow_trace = PipelineSynthesizer(config, seed=spec.synth_seed).generate()
+    return Trace(
+        list(base) + list(workflow_trace),
+        name=base.name,
+        metadata={**base.metadata, "workflows": len(workflow_trace)},
+    )
+
+
 def build_cluster(spec: ClusterSpec) -> Cluster:
     if spec.kind == "uniform":
         return uniform_cluster(spec.nodes, gpus_per_node=spec.gpus_per_node)
@@ -83,6 +114,24 @@ def build_scheduler(spec: SchedulerSpec) -> tuple[Scheduler, PlacementPolicy | N
         kwargs["quota"] = QuotaConfig(quotas=dict(spec.quotas))
     scheduler = make_scheduler(spec.name, placement=placement, **kwargs)
     return scheduler, placement
+
+
+def build_exec_model(kwargs: dict[str, Any]) -> ExecutionModel:
+    """Instantiate a cell's execution model from plain-data kwargs.
+
+    ``{"unit": True}`` selects :class:`UnitExecutionModel` (pure-queueing
+    experiments: slowdown is exactly 1.0, making analytical bounds like
+    the workflow critical path exact); anything else passes through to
+    :class:`ExecutionModel`.
+    """
+    params = dict(kwargs)
+    if params.pop("unit", False):
+        if params:
+            raise ConfigError(
+                f"unit exec model takes no other parameters; got {sorted(params)}"
+            )
+        return UnitExecutionModel()
+    return ExecutionModel(**params)
 
 
 def _build_serving(spec: ServingSpec) -> Any:
@@ -137,12 +186,17 @@ def run_cell(
             # set before the simulator exists (F11 gang time-slicing).
             job.preemptible = True  # simlint: disable=R3  (pre-sim trace setup)
 
+    if cell.workflow is not None:
+        if cell.federation is not None:
+            raise ConfigError("workflow jobs are not supported in federated cells yet")
+        trace = merge_workflow_jobs(cell.workflow, trace)
+
     if cell.federation is not None:
         return _run_federated_cell(cell, trace)
 
     scheduler, placement = build_scheduler(cell.scheduler)
     cluster = build_cluster(cell.cluster)
-    exec_model = ExecutionModel(**cell.exec_model)
+    exec_model = build_exec_model(cell.exec_model)
     sim_config = SimConfig(**cell.sim)
 
     sim_kwargs: dict[str, Any] = {}

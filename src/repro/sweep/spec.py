@@ -28,8 +28,10 @@ if TYPE_CHECKING:
 #: Bumped whenever the cell-result wire/cache format changes shape, so
 #: stale cache entries from older layouts can never be deserialised into
 #: the new one.  v2: cells gained the ``federation`` field (multi-site
-#: runs) and clusters the ``het`` kind.
-CELL_FORMAT_VERSION = 2
+#: runs) and clusters the ``het`` kind.  v3: cells gained the ``workflow``
+#: field (pipeline-DAG jobs merged into the trace) and summaries the
+#: ``wf_*`` columns on workflow runs.
+CELL_FORMAT_VERSION = 3
 
 
 def _jsonable(value: Any) -> Any:
@@ -75,6 +77,23 @@ class TraceSpec:
     load_seed: int = 777
     model_seed: int | None = None
     preset: str = "tacc-campus"
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkflowTraceSpec:
+    """Recipe for pipeline-shaped workflow jobs merged into a cell's trace.
+
+    Synthesized by :class:`~repro.workload.pipelines.PipelineSynthesizer`
+    in the worker and appended to the rehydrated base trace before object
+    construction — the base trace memo is untouched, and cells without
+    this field take the legacy path bit-for-bit.  ``overrides`` are extra
+    :class:`~repro.workload.pipelines.PipelineTraceConfig` fields.
+    """
+
+    days: float
+    workflows_per_day: float
+    synth_seed: int = 0
     overrides: dict[str, Any] = field(default_factory=dict)
 
 
@@ -140,6 +159,9 @@ class SimCell:
         failures: :class:`FailureConfig` kwargs (``None`` = no injection).
         storage: :class:`StorageConfig` kwargs (``None`` = no staging model).
         serving: Co-located serving fleet (``None`` = training only).
+        workflow: Pipeline-DAG jobs to merge into the trace (``None`` =
+            no workflows; the cell then takes the legacy path
+            bit-for-bit).
         federation: Multi-site federation recipe (``None`` = single
             cluster).  When set, the worker routes the trace across the
             federation's sites instead of the cell's own cluster; the
@@ -160,6 +182,7 @@ class SimCell:
     failures: dict[str, Any] | None = None
     storage: dict[str, Any] | None = None
     serving: ServingSpec | None = None
+    workflow: WorkflowTraceSpec | None = None
     federation: "FederationSpec | None" = None
     preemptible_override: bool = False
     probes: tuple[str, ...] = ()

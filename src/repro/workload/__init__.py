@@ -18,6 +18,11 @@ from .models import (
     get_model_profile,
     profile_of,
 )
+from .pipelines import (
+    PipelineSynthesizer,
+    PipelineTraceConfig,
+    pipeline_trace,
+)
 from .synth import (
     CAMPUS_DIURNAL,
     calibrate_jobs_per_day,
@@ -45,6 +50,8 @@ __all__ = [
     "JobState",
     "JobTier",
     "ModelProfile",
+    "PipelineSynthesizer",
+    "PipelineTraceConfig",
     "ResourceRequest",
     "SyntheticTraceConfig",
     "Trace",
@@ -59,6 +66,7 @@ __all__ = [
     "get_model_profile",
     "helios_like",
     "philly_like",
+    "pipeline_trace",
     "profile_of",
     "synthesize",
     "tacc_campus",

@@ -335,4 +335,7 @@ class ColumnarTrace(Trace):
             "dataset_gb": cols["dataset_gb"][index],
             "model": "",
             "name": f"{'notebook' if interactive else 'train'}-{index}",
+            "workflow": "",
+            "depends_on": "",
+            "artifact_bytes": 0.0,
         }

@@ -159,6 +159,14 @@ class Job:
     #: job-level latency aggregates (their "latency" is request latency,
     #: reported via :class:`~repro.sim.metrics.ServingMetrics`).
     service_id: str | None = None
+    #: Workflow membership: stages of one pipeline share a workflow_id and
+    #: declare upstream stages in ``depends_on`` (job ids).  Plain jobs
+    #: leave both empty and take the legacy code path everywhere.
+    workflow_id: str | None = None
+    depends_on: tuple[JobId, ...] = ()
+    #: Bytes of output artifact downstream stages must fetch from this
+    #: job's ``last_nodes`` before they can start (0 = none declared).
+    artifact_bytes: float = 0.0
 
     # -- runtime state (managed by transition methods) --
     state: JobState = JobState.QUEUED
@@ -174,6 +182,10 @@ class Job:
     current_gpus: int = 0  # GPUs of the live attempt (elastic jobs may vary)
     current_setup_s: float = 0.0  # provisioning/staging head of the attempt
     gpu_seconds_used: float = 0.0
+    #: When the control plane released this job from PENDING_DEPS (None for
+    #: jobs that never held); splits queueing delay into dependency hold vs
+    #: post-release scheduler wait.
+    deps_released_at: float | None = None
     #: GPU-seconds of *retained* progress: every accrued work segment books
     #: ``work × num_gpus`` (the ideal cost of the progress made at the full
     #: request), and re-done work (checkpoint loss, restore) is subtracted
@@ -201,6 +213,10 @@ class Job:
             )
         if self.dataset_gb < 0:
             raise ValidationError(f"job {self.job_id}: dataset_gb must be >= 0")
+        if self.artifact_bytes < 0:
+            raise ValidationError(f"job {self.job_id}: artifact_bytes must be >= 0")
+        if self.job_id in self.depends_on:
+            raise ValidationError(f"job {self.job_id} depends on itself")
         self.remaining_work = self.duration
 
     # -- derived quantities ---------------------------------------------------
@@ -455,6 +471,9 @@ class Job:
             elastic_min_gpus=self.elastic_min_gpus,
             dataset_gb=self.dataset_gb,
             service_id=self.service_id,
+            workflow_id=self.workflow_id,
+            depends_on=self.depends_on,
+            artifact_bytes=self.artifact_bytes,
         )
         if restore_s < 0:
             raise ValidationError(f"restore_s must be non-negative, got {restore_s}")

@@ -41,7 +41,13 @@ _CSV_COLUMNS = [
     "dataset_gb",
     "model",
     "name",
+    "workflow",
+    "depends_on",
+    "artifact_bytes",
 ]
+
+#: Columns a CSV may omit (pre-workflow traces); readers default them.
+_OPTIONAL_COLUMNS = {"workflow", "depends_on", "artifact_bytes"}
 
 
 @dataclass
@@ -199,7 +205,7 @@ class Trace:
         jobs: list[Job] = []
         with path.open(newline="") as handle:
             reader = csv.DictReader(handle)
-            missing = set(_CSV_COLUMNS) - set(reader.fieldnames or [])
+            missing = set(_CSV_COLUMNS) - _OPTIONAL_COLUMNS - set(reader.fieldnames or [])
             if missing:
                 raise TraceError(f"trace CSV {path} is missing columns: {sorted(missing)}")
             for line_number, row in enumerate(reader, start=2):
@@ -265,6 +271,9 @@ def _job_to_row(job: Job) -> dict[str, object]:
         "dataset_gb": job.dataset_gb,
         "model": job.model_name,
         "name": job.name,
+        "workflow": job.workflow_id or "",
+        "depends_on": ";".join(job.depends_on),
+        "artifact_bytes": job.artifact_bytes,
     }
 
 
@@ -302,4 +311,7 @@ def _job_from_row(row: dict[str, object]) -> Job:
         dataset_gb=float(text("dataset_gb") or 0.0),
         model_name=text("model"),
         name=text("name"),
+        workflow_id=text("workflow") or None,
+        depends_on=tuple(d for d in text("depends_on").split(";") if d),
+        artifact_bytes=float(text("artifact_bytes") or 0.0),
     )

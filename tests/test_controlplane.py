@@ -32,11 +32,12 @@ _EDGE_LABEL = {
     LifecycleState.KILLED: (Cause.USER_KILL, Actor.USER),
     LifecycleState.FAILED: (Cause.INTRINSIC_FAILURE, Actor.SIMULATOR),
     LifecycleState.PENDING: (Cause.ADMIT, Actor.ADMISSION),  # never legal
+    LifecycleState.PENDING_DEPS: (Cause.DEPS_HOLD, Actor.ADMISSION),
 }
 
 
 class TestLifecycleMatrix:
-    """Exhaustive legal/illegal transition matrix over all 64 state pairs."""
+    """Exhaustive legal/illegal transition matrix over all 81 state pairs."""
 
     @pytest.mark.parametrize(
         "source,target",
@@ -66,7 +67,7 @@ class TestLifecycleMatrix:
         for state in LifecycleState:
             assert bool(LEGAL_TRANSITIONS[state]) != state.terminal
         legal_count = sum(len(targets) for targets in LEGAL_TRANSITIONS.values())
-        assert legal_count == 16
+        assert legal_count == 20
 
     def test_illegal_transition_is_a_job_state_error(self):
         lifecycle = JobLifecycle("job-x", LifecycleState.FINISHED)
@@ -81,6 +82,7 @@ class TestLifecycleMatrix:
 
     def test_job_state_projection(self):
         assert LifecycleState.ADMITTED.job_state is JobState.QUEUED
+        assert LifecycleState.PENDING_DEPS.job_state is JobState.QUEUED
         assert LifecycleState.PREEMPTED.job_state is JobState.QUEUED
         assert LifecycleState.RESTARTING.job_state is JobState.QUEUED
         assert LifecycleState.RUNNING.job_state is JobState.RUNNING

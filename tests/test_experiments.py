@@ -33,7 +33,7 @@ class TestRegistry:
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11",
             "S1", "S2",
             "A1", "A2", "A3", "A4", "A5",
-            "F-FED",
+            "F-FED", "W-DAG",
         }
         assert set(EXPERIMENTS) == expected
 

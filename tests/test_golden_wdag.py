@@ -1,0 +1,100 @@
+"""Golden pin of the W-DAG workflow-placement experiment.
+
+Runs the W-DAG cells at reduced scale and pins the per-arm workflow
+makespan and artifact-fetch time to exact values, plus the structural
+claims the experiment exists to demonstrate: transfer-aware placement
+beats every transfer-oblivious baseline on mean workflow makespan at
+equal utilization, every arm completes the same work, and — because the
+cells run the unit execution model — every arm's makespan respects the
+analytical critical-path lower bound.
+
+As with the other golden suites, float comparisons are exact (or 1e-9):
+drift means a scheduling/placement/transfer decision changed, not a perf
+detail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import sweep
+from repro.experiments.workflows import WDAG_PLACEMENTS, _wdag_cells
+
+SEED = 0
+SCALE = 0.25
+
+# Pinned when the workflow-DAG subsystem landed (seed 0, scale 0.25).
+GOLDEN_MAKESPAN_H = {
+    "transfer-aware": 1.2401075729774353,
+    "best-fit": 1.2524005075694813,
+    "first-fit": 1.2489590631428678,
+}
+GOLDEN_TRANSFER_S = {
+    "transfer-aware": 1952.5961702536306,
+    "best-fit": 4527.886440877575,
+    "first-fit": 3831.469237063354,
+}
+GOLDEN_CRITICAL_PATH_H = 1.2332754292929
+GOLDEN_WORKFLOWS = 48.0
+GOLDEN_COMPLETED = 486.0
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return sweep.run_cells(_wdag_cells(seed=SEED, scale=SCALE))
+
+
+def test_makespan_matches_golden_exactly(runs):
+    for arm, expected in GOLDEN_MAKESPAN_H.items():
+        assert runs[arm].summary["wf_makespan_mean_h"] == expected, (
+            f"{arm}: {runs[arm].summary['wf_makespan_mean_h']!r} != {expected!r}"
+        )
+
+
+def test_transfer_seconds_match_golden_exactly(runs):
+    for arm, expected in GOLDEN_TRANSFER_S.items():
+        assert runs[arm].summary["wf_transfer_s"] == expected, (
+            f"{arm}: {runs[arm].summary['wf_transfer_s']!r} != {expected!r}"
+        )
+
+
+def test_transfer_aware_beats_every_oblivious_baseline(runs):
+    aware = runs["transfer-aware"].summary
+    for arm in WDAG_PLACEMENTS:
+        if arm == "transfer-aware":
+            continue
+        oblivious = runs[arm].summary
+        assert aware["wf_makespan_mean_h"] < oblivious["wf_makespan_mean_h"], (
+            f"transfer-aware does not beat {arm} on makespan "
+            f"({aware['wf_makespan_mean_h']:.4f} >= "
+            f"{oblivious['wf_makespan_mean_h']:.4f})"
+        )
+        assert aware["wf_transfer_s"] < oblivious["wf_transfer_s"], arm
+        # "At equal utilization": the arms place the same work on the same
+        # cluster, so the lever is *where*, never *how much*.
+        assert aware["utilization"] == pytest.approx(
+            oblivious["utilization"], rel=2e-3
+        ), arm
+
+
+def test_all_arms_complete_the_same_work(runs):
+    for arm, result in runs.items():
+        assert result.summary["workflows"] == GOLDEN_WORKFLOWS, arm
+        assert result.summary["wf_completed"] == GOLDEN_WORKFLOWS, arm
+        assert result.summary["completed"] == GOLDEN_COMPLETED, arm
+
+
+def test_makespan_respects_critical_path_bound(runs):
+    # Unit execution model: the critical path is an exact lower bound.
+    for arm, result in runs.items():
+        assert result.summary["wf_critical_path_h"] == GOLDEN_CRITICAL_PATH_H, arm
+        assert (
+            result.summary["wf_makespan_mean_h"]
+            >= result.summary["wf_critical_path_h"]
+        ), arm
+
+
+def test_rerun_is_byte_identical(runs):
+    again = sweep.run_cells(_wdag_cells(seed=SEED, scale=SCALE))
+    for arm in runs:
+        assert runs[arm].summary == again[arm].summary, arm

@@ -17,6 +17,7 @@ import pytest
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import (
     PRIORITY,
+    DependencyRelease,
     Event,
     JobArrival,
     JobFinish,
@@ -53,6 +54,7 @@ class TestPriorityTable:
     def test_priority_of_matches_table(self):
         samples = {
             JobFinish: JobFinish("j1", 1),
+            DependencyRelease: DependencyRelease("j1"),
             StageComplete: StageComplete("j1"),
             NodeRepair: NodeRepair("n1"),
             NodeFailure: NodeFailure("n1"),
@@ -79,6 +81,7 @@ class TestPriorityTable:
         """Releases before arrivals, serving between arrivals and the pass."""
         order = [
             JobFinish,
+            DependencyRelease,
             JobArrival,
             RequestRateChange,
             ServiceScaleDown,
