@@ -1,4 +1,4 @@
-"""Regenerate the committed simlint baseline (``simlint-baseline.json``).
+"""Regenerate or verify the committed simlint baseline.
 
 The CI gate fails on any finding not in the baseline, so the baseline is
 the set of *grandfathered* findings — violations that predate a rule and
@@ -11,7 +11,12 @@ are queued for cleanup.  Regenerate it ONLY when:
 Never regenerate to absorb a violation your own change introduced: fix it
 or add an inline ``# simlint: disable=RULE`` with a reason comment.
 
-Usage: PYTHONPATH=src python scripts/simlint_baseline.py [paths…]
+``--check`` verifies instead of writing: it exits nonzero when the
+committed baseline differs from what a fresh run would produce, so a
+baseline edited by hand (or gone stale after fixes) fails CI instead of
+being trusted blind.
+
+Usage: PYTHONPATH=src python scripts/simlint_baseline.py [--check] [paths…]
 """
 
 from __future__ import annotations
@@ -28,9 +33,49 @@ DEFAULT_PATHS = (REPO / "src", REPO / "benchmarks")
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    check = "--check" in argv
+    argv = [arg for arg in argv if arg != "--check"]
     paths = [Path(p) for p in argv] or list(DEFAULT_PATHS)
     report = analyze_paths(paths)
-    Baseline.from_findings(report.findings).save(OUT)
+    fresh = Baseline.from_findings(report.findings)
+
+    if check:
+        try:
+            committed = Baseline.load(OUT)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"simlint baseline: cannot read {OUT.name}: {exc}", file=sys.stderr)
+            return 2
+        if committed.counts == fresh.counts:
+            print(
+                f"simlint baseline: {OUT.name} is in sync "
+                f"({len(report.findings)} finding(s) over "
+                f"{report.files_analyzed} file(s))"
+            )
+            return 0
+        stale = sorted(set(committed.counts) - set(fresh.counts))
+        missing = sorted(set(fresh.counts) - set(committed.counts))
+        drifted = sorted(
+            key
+            for key in set(committed.counts) & set(fresh.counts)
+            if committed.counts[key] != fresh.counts[key]
+        )
+        for key in stale:
+            print(f"simlint baseline: stale entry (violation fixed): {key}")
+        for key in missing:
+            print(f"simlint baseline: unbaselined finding: {key}")
+        for key in drifted:
+            print(
+                f"simlint baseline: multiplicity drift for {key}: "
+                f"committed {committed.counts[key]}, fresh {fresh.counts[key]}"
+            )
+        print(
+            "simlint baseline: out of sync — fix new findings, or rerun "
+            "scripts/simlint_baseline.py if shrinkage is intended",
+            file=sys.stderr,
+        )
+        return 1
+
+    fresh.save(OUT)
     for finding in report.findings:
         print(finding.render())
     print(

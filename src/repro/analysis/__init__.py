@@ -2,8 +2,9 @@
 
 The golden tests pin *that* runs are reproducible; this package pins *why*
 — by making the practices that keep them reproducible (seed-threaded RNG,
-engine-clock time, control-plane-owned mutation, explicit event ordering)
-machine-checkable at review time instead of tribal knowledge:
+engine-clock time, control-plane-owned mutation, explicit event ordering,
+taint-free result paths, a single job-lifecycle table) machine-checkable
+at review time instead of tribal knowledge:
 
 ==== ====================== =====================================================
 Rule Name                   Invariant
@@ -17,21 +18,40 @@ R6   unordered-iteration    no bare set iteration in order-sensitive paths
 R7   stray-deepcopy         live sims copy only via controlplane/snapshot.py
 R8   exception-hygiene      no bare/swallowed broad excepts; lifecycle errors
                             propagate
+R9   determinism-taint      arbitrary iteration order never reaches a result
+                            sink (flow-sensitive taint, full chain reported)
+R10  unordered-accumulation no float accumulation over unordered iterables
+R11  lifecycle-typestate    LEGAL_TRANSITIONS and its call sites agree; every
+                            edge is exercisable
+R12  fingerprint-coverage   every frozen-spec field reaches its fingerprint
+R13  frozen-mutation        no object.__setattr__ on specs after construction
 ==== ====================== =====================================================
 
-Front doors: ``python -m repro.analysis [paths…]`` and ``tcloud lint``.
-Waivers: ``# simlint: disable=R3`` inline (see
-:mod:`repro.analysis.suppressions`) or the committed baseline
-(:mod:`repro.analysis.baseline`).  CI fails on any non-baselined finding.
+Front doors: ``python -m repro.analysis [paths…]`` and ``tcloud lint``
+(both support the incremental cache: ``--jobs``, ``--cache-dir``,
+``--no-cache``, ``--changed``, ``--stats``).  Waivers: ``# simlint:
+disable=R3`` inline (see :mod:`repro.analysis.suppressions`) or the
+committed baseline (:mod:`repro.analysis.baseline`).  CI fails on any
+non-baselined finding and verifies the baseline itself with
+``scripts/simlint_baseline.py --check``.
 """
 
 from __future__ import annotations
 
 from .baseline import Baseline
+from .cache import LintCache, engine_fingerprint, file_key
 from .context import FileContext
 from .findings import Finding
 from .registry import BaseRule, ProjectRule, Rule, all_rules, rule_by_id
-from .runner import AnalysisReport, analyze_contexts, analyze_paths, analyze_source
+from .runner import (
+    AnalysisReport,
+    LintStats,
+    analyze_contexts,
+    analyze_paths,
+    analyze_source,
+    git_changed_files,
+    run_lint,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -39,11 +59,17 @@ __all__ = [
     "BaseRule",
     "FileContext",
     "Finding",
+    "LintCache",
+    "LintStats",
     "ProjectRule",
     "Rule",
     "all_rules",
     "analyze_contexts",
     "analyze_paths",
     "analyze_source",
+    "engine_fingerprint",
+    "file_key",
+    "git_changed_files",
     "rule_by_id",
+    "run_lint",
 ]

@@ -1,0 +1,168 @@
+"""Content-addressed incremental cache for simlint.
+
+The same discipline as :mod:`repro.sweep.cache`, applied to the analyzer
+itself: one JSON record per analyzed file, keyed by::
+
+    sha256(display path + "\\0" + file bytes + "\\0" + engine fingerprint)
+
+where the *engine fingerprint* hashes every ``.py`` file of the
+``repro.analysis`` package — editing any rule, the dataflow engine, or
+the runner invalidates the whole cache, exactly like
+:func:`repro.sweep.fingerprint.code_fingerprint` invalidates sweep
+results.  A record stores everything the per-file phase computed:
+
+* the file's per-file rule findings (plus S0/P0 diagnostics), *before*
+  suppression filtering — filtering is a merge-time concern;
+* the parsed suppression map (needed to filter project-rule findings
+  against this file at merge time);
+* every project rule's ``extract`` summary, so project rules rerun only
+  their cheap ``reduce`` step on warm runs.
+
+Records are written atomically (temp file + rename) so concurrent lints
+sharing one cache directory never observe torn JSON.  A record that
+fails to load or validate is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+from .suppressions import SuppressionMap
+
+#: Environment override for the cache directory (CI points this at a
+#: persisted workspace path).
+ENV_CACHE_DIR = "TCLOUD_SIMLINT_CACHE"
+#: Bumped when the record layout changes (invalidates old records).
+CACHE_FORMAT_VERSION = 1
+
+_RECORD_KEYS = frozenset({"version", "path", "findings", "suppressions", "summaries"})
+
+
+def default_cache_dir() -> Path:
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "tcloud-simlint"
+
+
+def engine_fingerprint() -> str:
+    """Digest of the analyzer's own source — part of every cache key."""
+    package_root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(source.relative_to(package_root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def file_key(display_path: str, data: bytes, engine: str) -> str:
+    """Cache key of one file's analysis under one engine fingerprint."""
+    digest = hashlib.sha256()
+    digest.update(display_path.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(data)
+    digest.update(b"\0")
+    digest.update(engine.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(str(CACHE_FORMAT_VERSION).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class FileRecord:
+    """Everything the per-file analysis phase produced for one file."""
+
+    path: str
+    #: Per-file rule findings + S0/P0 diagnostics, pre-suppression.
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: SuppressionMap = field(default_factory=SuppressionMap)
+    #: Project-rule ``extract`` summaries by rule id (absent = None).
+    summaries: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "path": self.path,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressions": self.suppressions.as_dict(),
+            "summaries": self.summaries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FileRecord":
+        if data.get("version") != CACHE_FORMAT_VERSION:
+            raise ValueError("stale cache record version")
+        if not _RECORD_KEYS <= data.keys():
+            raise ValueError("malformed cache record")
+        findings_raw = data["findings"]
+        suppressions_raw = data["suppressions"]
+        summaries_raw = data["summaries"]
+        if not (
+            isinstance(findings_raw, list)
+            and isinstance(suppressions_raw, dict)
+            and isinstance(summaries_raw, dict)
+        ):
+            raise ValueError("malformed cache record")
+        return cls(
+            path=str(data["path"]),
+            findings=[Finding.from_dict(item) for item in findings_raw],
+            suppressions=SuppressionMap.from_dict(suppressions_raw),
+            summaries=dict(summaries_raw),
+        )
+
+
+class LintCache:
+    """On-disk record store with hit/miss accounting."""
+
+    def __init__(self, root: Path | None = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _record_path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings sane at repo scale.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> FileRecord | None:
+        record_path = self._record_path(key)
+        try:
+            payload = json.loads(record_path.read_text(encoding="utf-8"))
+            record = FileRecord.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: FileRecord) -> None:
+        record_path = self._record_path(key)
+        record_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record.as_dict(), sort_keys=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=record_path.parent,
+            prefix=f".{key[:12]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, record_path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -18,7 +18,7 @@ answers "where does this fire?".
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from .context import FileContext
 from .findings import Finding
@@ -53,11 +53,33 @@ class Rule(BaseRule):
 
 
 class ProjectRule(BaseRule):
-    """A rule that inspects every analyzed file together."""
+    """A rule that inspects every analyzed file together.
+
+    Project rules are written in map/reduce form so the incremental cache
+    can store their per-file work: :meth:`extract` distills one file into a
+    plain-data (JSON-serialisable) summary keyed by the file's content
+    hash, and :meth:`reduce` combines every summary into findings.  The
+    reduce step must be a pure function of the summaries — it reruns on
+    every lint invocation (cheap), while extract only runs on cache misses.
+    """
 
     @abc.abstractmethod
+    def extract(self, ctx: FileContext) -> object | None:
+        """Distill one file into a plain-data summary (None = nothing)."""
+
+    @abc.abstractmethod
+    def reduce(self, summaries: Sequence[tuple[str, object]]) -> Iterator[Finding]:
+        """Combine ``(path, summary)`` pairs (path-sorted) into findings."""
+
     def check_project(self, contexts: Iterable[FileContext]) -> Iterator[Finding]:
-        """Yield findings across the whole file set."""
+        """Convenience: extract + reduce in one pass (uncached path)."""
+        pairs = [(ctx.path, self.extract(ctx)) for ctx in contexts]
+        yield from self.reduce(
+            sorted(
+                ((path, summary) for path, summary in pairs if summary is not None),
+                key=lambda pair: pair[0],
+            )
+        )
 
 
 _RULES: dict[str, BaseRule] = {}

@@ -12,6 +12,9 @@ from . import (  # noqa: F401  — imported for registration side effects
     encapsulation,
     events,
     hygiene,
+    lifecycle,
     numerics,
     ordering,
+    speccheck,
+    taint,
 )

@@ -5,13 +5,15 @@ event class missing from the ``PRIORITY`` table silently sorts last (rank
 99), which *works* until a second unranked type lands at the same instant
 and their relative order becomes an accident of scheduling call sites.
 This is a project rule: subclasses may be defined in any module, the table
-lives in ``sim/events.py``, and coverage is only checkable globally.
+lives in ``sim/events.py``, and coverage is only checkable globally.  It
+is written in map/reduce form so the per-file class/table summaries ride
+the incremental cache.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import Iterator, Sequence
 
 from ..context import FileContext
 from ..findings import Finding
@@ -39,6 +41,15 @@ def _key_name(key: ast.expr | None) -> str | None:
     return None
 
 
+def _anchor(ctx: FileContext, node: ast.AST) -> dict[str, object]:
+    line = getattr(node, "lineno", 1)
+    return {
+        "line": line,
+        "col": getattr(node, "col_offset", 0),
+        "source_line": ctx.source_line(line),
+    }
+
+
 @register
 class EventPriorityRule(ProjectRule):
     """R4: Event subclasses must hold a unique rank in a PRIORITY table."""
@@ -51,27 +62,59 @@ class EventPriorityRule(ProjectRule):
         "rank gets an arbitrary tie order that golden tests cannot pin."
     )
 
-    def check_project(self, contexts: Iterable[FileContext]) -> Iterator[Finding]:
-        class_defs: list[tuple[FileContext, ast.ClassDef]] = []
-        bases_of: dict[str, set[str]] = {}
-        ranked: dict[str, int] = {}
-        tables: list[tuple[FileContext, ast.Dict]] = []
-
-        for ctx in contexts:
-            for node in ast.walk(ctx.tree):
-                if isinstance(node, ast.ClassDef):
-                    class_defs.append((ctx, node))
-                    bases_of.setdefault(node.name, set()).update(_base_names(node))
-                elif isinstance(node, (ast.Assign, ast.AnnAssign)):
-                    targets = (
-                        node.targets if isinstance(node, ast.Assign) else [node.target]
-                    )
-                    value = node.value
-                    if not isinstance(value, ast.Dict):
+    def extract(self, ctx: FileContext) -> dict[str, object] | None:
+        classes: list[dict[str, object]] = []
+        tables: list[list[dict[str, object]]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                entry = _anchor(ctx, node)
+                entry["name"] = node.name
+                entry["bases"] = sorted(_base_names(node))
+                classes.append(entry)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                if not isinstance(value, ast.Dict):
+                    continue
+                if not any(
+                    isinstance(target, ast.Name) and target.id == _TABLE_NAME
+                    for target in targets
+                ):
+                    continue
+                entries: list[dict[str, object]] = []
+                for key, rank_node in zip(value.keys, value.values):
+                    name = _key_name(key)
+                    if name is None:
                         continue
-                    for target in targets:
-                        if isinstance(target, ast.Name) and target.id == _TABLE_NAME:
-                            tables.append((ctx, value))
+                    entry = _anchor(ctx, rank_node)
+                    entry["name"] = name
+                    if isinstance(rank_node, ast.Constant) and isinstance(
+                        rank_node.value, int
+                    ):
+                        entry["rank"] = rank_node.value
+                    else:
+                        entry["rank"] = None  # non-literal rank: reported below
+                    entries.append(entry)
+                tables.append(entries)
+        if not classes and not tables:
+            return None
+        return {"classes": classes, "tables": tables}
+
+    def reduce(self, summaries: Sequence[tuple[str, object]]) -> Iterator[Finding]:
+        classes: list[tuple[str, dict[str, object]]] = []
+        bases_of: dict[str, set[str]] = {}
+        tables: list[tuple[str, list[dict[str, object]]]] = []
+        for path, summary in summaries:
+            assert isinstance(summary, dict)
+            for entry in summary.get("classes", []):
+                classes.append((path, entry))
+                bases_of.setdefault(str(entry["name"]), set()).update(
+                    str(base) for base in entry["bases"]
+                )
+            for entries in summary.get("tables", []):
+                tables.append((path, entries))
 
         # Transitive closure: which class names descend from Event?
         event_classes = {_ROOT_CLASS}
@@ -83,25 +126,25 @@ class EventPriorityRule(ProjectRule):
                     event_classes.add(name)
                     changed = True
 
-        for ctx, dict_node in tables:
+        ranked: dict[str, int] = {}
+        for path, entries in tables:
             seen_ranks: dict[int, str] = {}
-            for key, value in zip(dict_node.keys, dict_node.values):
-                name = _key_name(key)
-                if name is None:
-                    continue
-                if not (isinstance(value, ast.Constant) and isinstance(value.value, int)):
-                    yield ctx.finding(
-                        self.id,
-                        value,
+            for entry in entries:
+                name = str(entry["name"])
+                rank = entry["rank"]
+                if rank is None:
+                    yield self._finding(
+                        path,
+                        entry,
                         f"PRIORITY rank of {name} must be an integer literal "
                         "(ranks are part of the simulation contract)",
                     )
                     continue
-                rank = value.value
+                assert isinstance(rank, int)
                 if rank in seen_ranks:
-                    yield ctx.finding(
-                        self.id,
-                        value,
+                    yield self._finding(
+                        path,
+                        entry,
                         f"duplicate PRIORITY rank {rank} for {name} (also held "
                         f"by {seen_ranks[rank]}); same-timestamp order between "
                         "them is undefined",
@@ -110,14 +153,25 @@ class EventPriorityRule(ProjectRule):
                     seen_ranks[rank] = name
                 ranked[name] = rank
 
-        for ctx, node in class_defs:
-            if node.name == _ROOT_CLASS or node.name not in event_classes:
+        for path, entry in classes:
+            name = str(entry["name"])
+            if name == _ROOT_CLASS or name not in event_classes:
                 continue
-            if node.name not in ranked:
-                yield ctx.finding(
-                    self.id,
-                    node,
-                    f"event class {node.name} declares no PRIORITY rank; add it "
+            if name not in ranked:
+                yield self._finding(
+                    path,
+                    entry,
+                    f"event class {name} declares no PRIORITY rank; add it "
                     "to the PRIORITY table with a unique integer so "
                     "same-timestamp dispatch order is explicit",
                 )
+
+    def _finding(self, path: str, anchor: dict[str, object], message: str) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=path,
+            line=int(anchor["line"]),  # type: ignore[call-overload]
+            col=int(anchor["col"]),  # type: ignore[call-overload]
+            message=message,
+            source_line=str(anchor["source_line"]),
+        )

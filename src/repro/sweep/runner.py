@@ -252,7 +252,8 @@ class SweepRunner:
 
         if failures:
             detail = "; ".join(
-                f"{name}: {type(exc).__name__}: {exc}" for name, exc in failures.items()
+                f"{name}: {type(exc).__name__}: {exc}"
+                for name, exc in sorted(failures.items())
             )
             raise SweepError(f"{len(failures)} cell(s) failed: {detail}")
         return {name: results[name] for name in order}

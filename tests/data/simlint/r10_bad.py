@@ -1,0 +1,9 @@
+"""R10 bad: float accumulation in set order drifts in the low bits."""
+
+
+def total_gpu_hours(cells):
+    hours = {cell.gpu_hours for cell in cells}
+    total = 0.0
+    for used in hours:
+        total += used
+    return total

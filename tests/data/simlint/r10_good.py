@@ -1,0 +1,9 @@
+"""R10 good: accumulate over a sorted view so the fold order is fixed."""
+
+
+def total_gpu_hours(cells):
+    hours = {cell.gpu_hours for cell in cells}
+    total = 0.0
+    for used in sorted(hours):
+        total += used
+    return total

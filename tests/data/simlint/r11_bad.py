@@ -1,0 +1,29 @@
+"""R11 bad: an illegal transition edge plus an uncovered table edge.
+
+``bad_restart`` inverts the terminal guard, so its only possible
+from-state is KILLED — but RUNNING is reachable only from PENDING.  And
+because no call site exercises PENDING -> RUNNING, that table edge is
+dead weight.
+"""
+
+from repro.controlplane.lifecycle import LifecycleState
+
+LEGAL_TRANSITIONS = {
+    LifecycleState.PENDING: frozenset(
+        {LifecycleState.RUNNING, LifecycleState.KILLED}
+    ),
+    LifecycleState.RUNNING: frozenset({LifecycleState.KILLED}),
+    LifecycleState.KILLED: frozenset(),
+}
+
+
+class Controller:
+    def bad_restart(self, job):
+        if not job.state.terminal:
+            return
+        self._apply(job, LifecycleState.RUNNING)
+
+    def kill(self, job):
+        if job.state.terminal:
+            return
+        self._apply(job, LifecycleState.KILLED)

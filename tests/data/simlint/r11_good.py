@@ -1,0 +1,25 @@
+"""R11 good: every call site is legal and every table edge is covered."""
+
+from repro.controlplane.lifecycle import LifecycleState
+
+LEGAL_TRANSITIONS = {
+    LifecycleState.PENDING: frozenset(
+        {LifecycleState.RUNNING, LifecycleState.KILLED}
+    ),
+    LifecycleState.RUNNING: frozenset({LifecycleState.KILLED}),
+    LifecycleState.KILLED: frozenset(),
+}
+
+
+class Controller:
+    def place(self, job):
+        if job.state.terminal:
+            return
+        if job.state is not LifecycleState.PENDING:
+            return
+        self._apply(job, LifecycleState.RUNNING)
+
+    def kill(self, job):
+        if job.state.terminal:
+            return
+        self._apply(job, LifecycleState.KILLED)

@@ -1,0 +1,17 @@
+"""R12 bad: a spec field the fingerprint encoding silently skips."""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    name: str
+    gpus: int
+    retries: int
+
+    def fingerprint(self):
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(str(self.gpus).encode())
+        return digest.hexdigest()

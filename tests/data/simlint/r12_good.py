@@ -1,0 +1,17 @@
+"""R12 good: every field reaches the fingerprint encoding."""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    name: str
+    gpus: int
+    retries: int
+
+    def fingerprint(self):
+        digest = hashlib.sha256()
+        for part in (self.name, self.gpus, self.retries):
+            digest.update(str(part).encode())
+        return digest.hexdigest()

@@ -1,0 +1,13 @@
+"""R13 bad: a frozen spec mutated after construction."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    nodes: int
+
+
+def tweak(spec, nodes):
+    object.__setattr__(spec, "nodes", nodes)
+    return spec

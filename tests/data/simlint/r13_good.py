@@ -1,0 +1,17 @@
+"""R13 good: __post_init__ may finalise; everyone else derives a copy."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    nodes: int
+    gpus_per_node: int
+    gpus: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "gpus", self.nodes * self.gpus_per_node)
+
+
+def tweak(spec, nodes):
+    return replace(spec, nodes=nodes)

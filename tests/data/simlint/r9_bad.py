@@ -1,0 +1,7 @@
+"""R9 bad: set iteration order materialised into a metrics row."""
+
+
+def report(jobs, table):
+    pending = {job.name for job in jobs if job.pending}
+    ids = [name for name in pending]
+    table.add_row(ids)

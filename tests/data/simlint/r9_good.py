@@ -1,0 +1,7 @@
+"""R9 good: the order is pinned by sorted() before it is observable."""
+
+
+def report(jobs, table):
+    pending = {job.name for job in jobs if job.pending}
+    ids = [name for name in sorted(pending)]
+    table.add_row(ids)

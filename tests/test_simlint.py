@@ -1,6 +1,6 @@
 """simlint analyzer tests: every rule, suppressions, baseline, CLI, clean tree.
 
-Each rule R1–R8 is exercised by a bad/good fixture pair under
+Each rule R1–R13 is exercised by a bad/good fixture pair under
 ``tests/data/simlint/`` analyzed under a *virtual* path inside the rule's
 scope, so the fixtures live outside the real package tree (and the runner
 explicitly skips them during real scans — verified below).
@@ -9,18 +9,24 @@ explicitly skips them during real scans — verified below).
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
     Baseline,
+    FileContext,
+    LintCache,
     all_rules,
     analyze_paths,
     analyze_source,
+    file_key,
     rule_by_id,
+    run_lint,
 )
 from repro.analysis.__main__ import main as simlint_main
+from repro.analysis.typestate import build_model, edge_coverage, extract_typestate
 from repro.tcloud.cli import main as tcloud_main
 
 REPO = Path(__file__).resolve().parents[1]
@@ -36,6 +42,11 @@ RULE_FIXTURES = {
     "R6": ("r6", "src/repro/sched/fixture.py"),
     "R7": ("r7", "src/repro/sim/fixture.py"),
     "R8": ("r8", "src/repro/sim/fixture.py"),
+    "R9": ("r9", "src/repro/workload/fixture.py"),
+    "R10": ("r10", "src/repro/workload/fixture.py"),
+    "R11": ("r11", "src/repro/controlplane/fixture.py"),
+    "R12": ("r12", "src/repro/schema/fixture.py"),
+    "R13": ("r13", "src/repro/sim/fixture.py"),
 }
 
 
@@ -130,6 +141,300 @@ class TestRules:
             "        raise\n"
         )
         assert analyze_source(source, "src/repro/sim/x.py") == []
+
+
+class TestTaintDataflow:
+    """R9/R10 flow details beyond the fixture pair: chain text + sinks."""
+
+    SIM = "src/repro/workload/x.py"
+
+    def test_message_carries_the_full_source_to_sink_chain(self):
+        findings = analyze_source(
+            fixture_source("r9_bad"), RULE_FIXTURES["R9"][1]
+        )
+        [finding] = findings
+        assert finding.message == (
+            "nondeterministic order reaches result sink add_row(); "
+            "taint path: set comprehension (line 5) -> "
+            "assigned to 'pending' (line 5) -> "
+            "order materialised by a list comprehension over it (line 6) -> "
+            "assigned to 'ids' (line 6) -> "
+            "reaches sink add_row() (line 7); "
+            "iterate a sorted(...) view before the order is observable"
+        )
+
+    def test_wait_result_in_raised_message_is_a_sink(self):
+        source = (
+            "from concurrent.futures import wait\n"
+            "def gather(futures):\n"
+            "    done, pending = wait(futures)\n"
+            "    names = [f.name for f in done]\n"
+            "    raise RuntimeError(', '.join(names))\n"
+        )
+        findings = analyze_source(source, self.SIM)
+        assert [f.rule_id for f in findings] == ["R9"]
+        assert "raised exception message" in findings[0].message
+        assert "wait() (line 3)" in findings[0].message
+
+    def test_os_environ_is_an_unordered_source(self):
+        source = (
+            "import os\n"
+            "def key(h):\n"
+            "    tags = [v for v in os.environ]\n"
+            "    return h.sha256(str(tags))\n"
+        )
+        findings = analyze_source(source, self.SIM)
+        assert [f.rule_id for f in findings] == ["R9"]
+        assert "os.environ" in findings[0].message
+
+    def test_sorting_id_keyed_container_is_flagged(self):
+        source = (
+            "def order(jobs):\n"
+            "    ranks = {}\n"
+            "    for j in jobs:\n"
+            "        ranks[id(j)] = j\n"
+            "    return sorted(ranks)\n"
+        )
+        findings = analyze_source(source, self.SIM)
+        assert [f.rule_id for f in findings] == ["R9"]
+        assert "memory address" in findings[0].message
+
+    def test_sum_over_set_is_r10(self):
+        source = (
+            "def cost(cells):\n"
+            "    prices = {c.price for c in cells}\n"
+            "    return sum(prices)\n"
+        )
+        findings = analyze_source(source, self.SIM)
+        assert [f.rule_id for f in findings] == ["R10"]
+
+    def test_sorted_before_the_sink_sanitises(self):
+        source = (
+            "def cost(cells):\n"
+            "    prices = {c.price for c in cells}\n"
+            "    return sum(sorted(prices))\n"
+        )
+        assert analyze_source(source, self.SIM) == []
+
+
+class TestTypestate:
+    """R11: the real lifecycle table is fully covered; drift is caught."""
+
+    CONTROLPLANE = (
+        "src/repro/controlplane/lifecycle.py",
+        "src/repro/controlplane/controller.py",
+    )
+
+    def _model(self):
+        summaries = []
+        for rel in self.CONTROLPLANE:
+            ctx = FileContext.from_source((REPO / rel).read_text(), rel)
+            summary = extract_typestate(ctx)
+            if summary is not None:
+                summaries.append((rel, summary))
+        model = build_model(sorted(summaries))
+        assert model is not None
+        return model
+
+    def test_real_table_has_exactly_twenty_edges(self):
+        assert len(self._model().all_edges()) == 20
+
+    def test_every_real_edge_is_exercised_by_a_call_site(self):
+        model = self._model()
+        covered, uncovered = edge_coverage(model)
+        assert uncovered == frozenset(), f"dead table edges: {sorted(uncovered)}"
+        assert covered == model.all_edges()
+
+    def test_bad_fixture_reports_illegal_edge_with_evidence(self):
+        findings = analyze_source(
+            fixture_source("r11_bad"), RULE_FIXTURES["R11"][1]
+        )
+        messages = [f.message for f in findings]
+        assert any(
+            "illegal lifecycle edge" in m
+            and "bad_restart()" in m
+            and "{KILLED}" in m
+            and "{PENDING}" in m
+            for m in messages
+        ), messages
+
+    def test_bad_fixture_reports_the_dead_table_edge(self):
+        findings = analyze_source(
+            fixture_source("r11_bad"), RULE_FIXTURES["R11"][1]
+        )
+        messages = [f.message for f in findings]
+        assert any(
+            "PENDING->RUNNING" in m and "not exercisable" in m for m in messages
+        ), messages
+
+
+class TestLintCache:
+    """The incremental runner: invalidation, determinism, speedup."""
+
+    def _tree(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "tree" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "clean.py").write_text("x = 1\n")
+        (pkg / "clock.py").write_text("import time\nt = time.time()\n")
+        return tmp_path / "tree"
+
+    @staticmethod
+    def _rendered(report) -> str:
+        return json.dumps([f.as_dict() for f in report.findings], sort_keys=True)
+
+    def test_file_key_is_sensitive_to_path_bytes_and_engine(self):
+        base = file_key("a.py", b"x = 1\n", "e1")
+        assert file_key("a.py", b"x = 2\n", "e1") != base
+        assert file_key("b.py", b"x = 1\n", "e1") != base
+        assert file_key("a.py", b"x = 1\n", "e2") != base
+
+    def test_warm_run_hits_and_edit_invalidates_one_file(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = LintCache(tmp_path / "cache")
+        cold = run_lint([tree], cache=cache)
+        assert (cold.stats.cache_hits, cold.stats.cache_misses) == (0, 2)
+        warm = run_lint([tree], cache=cache)
+        assert (warm.stats.cache_hits, warm.stats.cache_misses) == (2, 0)
+        assert self._rendered(warm) == self._rendered(cold)
+        (tree / "repro" / "sim" / "clean.py").write_text(
+            "import random\nr = random.random()\n"
+        )
+        edited = run_lint([tree], cache=cache)
+        assert (edited.stats.cache_hits, edited.stats.cache_misses) == (1, 1)
+        assert {f.rule_id for f in edited.findings} == {"R1", "R2"}
+
+    def test_suppressions_filter_cached_records_at_merge_time(self, tmp_path):
+        tree = self._tree(tmp_path)
+        (tree / "repro" / "sim" / "clock.py").write_text(
+            "import time\nt = time.time()  # simlint: disable=R2\n"
+        )
+        cache = LintCache(tmp_path / "cache")
+        assert run_lint([tree], cache=cache).findings == []
+        warm = run_lint([tree], cache=cache)
+        assert warm.findings == []
+        assert warm.stats.cache_hits == 2
+
+    def test_findings_identical_across_cache_state_and_jobs(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = LintCache(tmp_path / "cache")
+        cold_parallel = run_lint([tree], jobs=4, cache=cache)
+        warm_serial = run_lint([tree], jobs=1, cache=cache)
+        uncached = run_lint([tree], jobs=1, cache=None)
+        assert warm_serial.stats.cache_hits == 2
+        assert (
+            self._rendered(cold_parallel)
+            == self._rendered(warm_serial)
+            == self._rendered(uncached)
+        )
+
+    def test_warm_run_is_at_most_a_quarter_of_cold(self, tmp_path):
+        pkg = tmp_path / "tree" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        body = "\n\n".join(
+            f"def f{i}(xs):\n"
+            f"    ys = [x + {i} for x in xs]\n"
+            f"    return len(ys)"
+            for i in range(40)
+        )
+        for index in range(30):
+            (pkg / f"mod{index}.py").write_text(body + "\n")
+        cache = LintCache(tmp_path / "cache")
+        cold = run_lint([tmp_path / "tree"], cache=cache)
+        warm = run_lint([tmp_path / "tree"], cache=cache)
+        assert cold.findings == warm.findings == []
+        assert warm.stats.cache_hits == 30
+        assert warm.stats.wall_seconds <= 0.25 * cold.stats.wall_seconds, (
+            f"warm {warm.stats.wall_seconds:.3f}s vs "
+            f"cold {cold.stats.wall_seconds:.3f}s"
+        )
+
+
+class TestIncrementalCli:
+    """The new front-door flags: --stats, --changed, cache counters."""
+
+    def _write_violation(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        target = pkg / "clock.py"
+        target.write_text("import time\nt = time.time()\n")
+        return target
+
+    def test_stats_report_cache_hits_on_the_warm_run(self, tmp_path, capsys):
+        self._write_violation(tmp_path)
+        argv = [
+            str(tmp_path),
+            "--no-baseline",
+            "--stats",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert simlint_main(argv) == 1
+        err = capsys.readouterr().err
+        assert "simlint stats:" in err
+        assert "0 hit / 1 miss" in err
+        assert simlint_main(argv) == 1
+        err = capsys.readouterr().err
+        assert "1 hit / 0 miss" in err
+        assert "(100.0% hit rate)" in err
+
+    def test_json_format_reports_cache_counters(self, tmp_path, capsys):
+        self._write_violation(tmp_path)
+        assert (
+            simlint_main(
+                [
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--format",
+                    "json",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 0, "misses": 1}
+
+    def test_changed_analyzes_only_the_git_diff(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        git = ["git", "-c", "user.email=ci@example.invalid", "-c", "user.name=ci"]
+        subprocess.run(["git", "init", "-q"], check=True)
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1\n")
+        subprocess.run(["git", "add", "."], check=True)
+        subprocess.run(git + ["commit", "-qm", "seed"], check=True)
+
+        argv = [".", "--changed", "--no-baseline", "--no-cache"]
+        assert simlint_main(argv) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+        (pkg / "clock.py").write_text("import time\nt = time.time()\n")
+        assert simlint_main(argv) == 1
+        out = capsys.readouterr().out
+        assert "R2" in out and "clock.py" in out
+        assert "1 file(s)" in out  # the committed-clean ok.py was skipped
+
+    def test_tcloud_lint_mirrors_the_new_flags(self, tmp_path, capsys):
+        self._write_violation(tmp_path)
+        assert (
+            tcloud_main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--no-baseline",
+                    "--stats",
+                    "--jobs",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "R2" in captured.out
+        assert "simlint stats:" in captured.err
 
 
 class TestSuppressions:
